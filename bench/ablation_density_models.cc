@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ablation: choice of statistical density model (Table 4) on a
+ * coordinate-dependent workload. A banded matrix (scientific-
+ * simulation style) is processed by a skipping accelerator; we compare
+ * the tile-empty probabilities and predicted cycles under
+ *   (a) a uniform model of the same overall density (coordinate
+ *       independent — wrong for bands),
+ *   (b) the banded model (coordinate dependent), and
+ *   (c) the actual-data model (exact),
+ * demonstrating why Sparseloop supports pluggable density models.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.hh"
+#include "common/mathutil.hh"
+#include "density/actual_data.hh"
+#include "density/banded.hh"
+#include "density/hypergeometric.hh"
+#include "model/engine.hh"
+#include "tensor/generate.hh"
+
+using namespace sparseloop;
+
+namespace {
+
+Architecture
+arch2()
+{
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = 1 << 22;
+    return Architecture("a2", {dram, buf}, ComputeSpec{});
+}
+
+double
+predictCycles(DensityModelPtr model_a, std::int64_t size)
+{
+    Workload w = makeMatmul(size, size, size);
+    w.setDensity("A", std::move(model_a));
+    Architecture arch = arch2();
+    // Column-chunk-leader mapping: the B skip depends on 8-element
+    // chunks of A columns being empty, which only coordinate-aware
+    // models predict correctly for a banded matrix.
+    Mapping m = MappingBuilder(w, arch)
+                    .temporal(0, "N", size)
+                    .temporal(0, "M", size / 8)
+                    .temporal(1, "K", size)
+                    .temporal(1, "M", 8)
+                    .buildComplete();
+    SafSpec safs;
+    safs.addSkip(1, w.tensorIndex("B"), {w.tensorIndex("A")});
+    EvalResult r = Engine(arch).evaluate(w, m, safs);
+    return r.computes.occupying();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: density model choice on a banded matrix");
+    const std::int64_t size = 64;
+    const std::int64_t half_bw = 3;
+    auto data = std::make_shared<SparseTensor>(
+        generateBanded(size, size, half_bw, 1.0, 17));
+    double density = data->density();
+
+    auto uniform =
+        std::make_shared<HypergeometricDensity>(size * size, density);
+    auto banded =
+        std::make_shared<BandedDensity>(size, size, half_bw, 1.0);
+    auto actual = std::make_shared<ActualDataDensity>(data);
+
+    std::printf("tensor: %lldx%lld banded (half-bandwidth %lld), "
+                "density %.3f\n\n",
+                static_cast<long long>(size),
+                static_cast<long long>(size),
+                static_cast<long long>(half_bw), density);
+
+    // Tile-empty probability for a column chunk (the skip leader).
+    Shape column{8, 1};
+    std::printf("P(8-elem column chunk empty): uniform=%.4f "
+                "banded=%.4f actual=%.4f\n",
+                uniform->probEmptyShaped(column),
+                banded->probEmptyShaped(column),
+                actual->probEmptyShaped(column));
+    // ... and for small square tiles (block-sparse view).
+    Shape block{8, 8};
+    std::printf("P(8x8 tile empty):     uniform=%.4f banded=%.4f "
+                "actual=%.4f\n\n",
+                uniform->probEmptyShaped(block),
+                banded->probEmptyShaped(block),
+                actual->probEmptyShaped(block));
+
+    double cy_uniform = predictCycles(uniform, size);
+    double cy_banded = predictCycles(banded, size);
+    double cy_actual = predictCycles(actual, size);
+    std::printf("predicted occupied compute cycles:\n");
+    std::printf("  uniform model:  %.0f (err %.1f%% vs actual)\n",
+                cy_uniform,
+                math::relativeError(cy_uniform, cy_actual) * 100);
+    std::printf("  banded model:   %.0f (err %.1f%% vs actual)\n",
+                cy_banded,
+                math::relativeError(cy_banded, cy_actual) * 100);
+    std::printf("  actual data:    %.0f (ground truth)\n", cy_actual);
+    std::printf("\n(a uniform model of the same overall density "
+                "mispredicts how often band-structured tiles are "
+                "empty; the coordinate-dependent banded model tracks "
+                "the exact actual-data model)\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: leader-tile inference (Fig. 10). The same SAF
+ * (Skip B <- A at the buffer) under two mappings that differ only in
+ * the innermost loop:
+ *   mapping 1: for m { for k }  -> leader = single A value
+ *   mapping 2: for k { for m }  -> leader = a column of A
+ * Quantifies how much the mapping's reuse structure changes the
+ * eliminated IneffOps — the core reason Sparseloop must infer leader
+ * tiles from the mapping rather than assume per-element intersection.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "dataflow/dense_traffic.hh"
+#include "model/engine.hh"
+#include "sparse/sparse_analysis.hh"
+
+using namespace sparseloop;
+
+namespace {
+
+Architecture
+arch2()
+{
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = 1 << 22;
+    return Architecture("a2", {dram, buf}, ComputeSpec{});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Ablation: leader-tile shape vs mapping (Fig. 10)");
+    const std::int64_t size = 64;
+    std::printf("%-9s %-16s %-16s %-14s\n", "density",
+                "P_elim(point)", "P_elim(column)", "savings ratio");
+    for (double density : {0.01, 0.05, 0.1, 0.25, 0.5}) {
+        Architecture arch = arch2();
+        double p[2];
+        for (int k_innermost = 1; k_innermost >= 0; --k_innermost) {
+            Workload w = makeMatmul(size, size, size);
+            bindUniformDensities(w, {{"A", density}});
+            MappingBuilder b(w, arch);
+            b.temporal(0, "N", size);
+            if (k_innermost) {
+                b.temporal(1, "M", size).temporal(1, "K", size);
+            } else {
+                b.temporal(1, "K", size).temporal(1, "M", size);
+            }
+            Mapping m = b.build();
+            SafSpec safs;
+            safs.addSkip(1, w.tensorIndex("B"), {w.tensorIndex("A")});
+            SparseAnalysis an(w, arch, m, safs);
+            p[k_innermost] =
+                an.eliminationProbability(safs.intersections[0]);
+        }
+        if (p[0] > 1e-6) {
+            std::printf("%-9.2f %-16.4f %-16.4f %-14.1f\n", density,
+                        p[1], p[0], p[1] / p[0]);
+        } else {
+            std::printf("%-9.2f %-16.4f %-16.4f %-14s\n", density,
+                        p[1], p[0], "inf");
+        }
+    }
+    std::printf("\n(the column leader is rarely all-zero, so mapping 2 "
+                "eliminates far fewer IneffOps; paper: 'under Mapping "
+                "2, Skip B <- A eliminates fewer IneffOps', Fig. 10)\n");
+    return 0;
+}

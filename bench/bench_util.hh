@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches: each bench
+ * binary regenerates one table or figure of the paper and prints the
+ * corresponding rows/series to stdout.
+ */
+
+#ifndef SPARSELOOP_BENCH_BENCH_UTIL_HH
+#define SPARSELOOP_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace bench {
+
+/** Assumed host clock for the CPHC metric (Sec. 6.2). */
+constexpr double kHostGhz = 2.5;
+
+/** Wall-clock seconds of a callable. */
+template <typename F>
+double
+timeSeconds(F &&f)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    f();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Print a section header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/**
+ * View a CONV layer as an implicit GEMM for the tensor-core designs:
+ * A = weights (K_out x C*R*S), B = inputs (C*R*S x P*Q).
+ */
+inline Workload
+convAsGemm(const ConvLayerShape &l, std::int64_t n_cap = 4096)
+{
+    std::int64_t m = l.k;
+    std::int64_t k = l.c * l.r * l.s;
+    std::int64_t n = std::min<std::int64_t>(l.p * l.q, n_cap);
+    return makeMatmul(m, k, n);
+}
+
+} // namespace bench
+} // namespace sparseloop
+
+#endif // SPARSELOOP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig. 17 reproduction: co-design of dataflow, SAFs, and sparsity
+ * (Sec. 7.2). Normalized energy-delay product of the four
+ * dataflow x SAF combinations running spMspM across density degrees
+ * spanning scientific computing (1e-4) to NN workloads (~0.5).
+ *
+ * Expected shape:
+ *  - ReuseABZ.InnermostSkip is the best design at NN densities;
+ *  - ReuseAZ.HierarchicalSkip wins for hyper-sparse workloads;
+ *  - ReuseABZ.HierarchicalSkip is never the best (the ABZ reuse
+ *    prevents the off-chip skip from firing).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/designs.hh"
+#include "bench/bench_util.hh"
+#include "model/engine.hh"
+
+using namespace sparseloop;
+
+int
+main()
+{
+    bench::header("Fig. 17: dataflow x SAF co-design (spMspM EDP)");
+    using DF = apps::CoDesignDataflow;
+    using SF = apps::CoDesignSafs;
+    struct Combo
+    {
+        DF df;
+        SF sf;
+    };
+    std::vector<Combo> combos{{DF::ReuseABZ, SF::InnermostSkip},
+                              {DF::ReuseABZ, SF::HierarchicalSkip},
+                              {DF::ReuseAZ, SF::InnermostSkip},
+                              {DF::ReuseAZ, SF::HierarchicalSkip}};
+    std::printf("%-10s", "density");
+    for (const auto &c : combos) {
+        std::printf(" %-28s",
+                    (toString(c.df) + "." + toString(c.sf)).c_str());
+    }
+    std::printf("  best\n");
+
+    const std::int64_t size = 512;
+    for (double density :
+         {1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.3, 0.5}) {
+        std::vector<double> edps;
+        for (const auto &c : combos) {
+            Workload w = makeMatmul(size, size, size);
+            bindUniformDensities(w,
+                                 {{"A", density}, {"B", density}});
+            apps::DesignPoint d = apps::buildCoDesign(w, c.df, c.sf);
+            EvalResult r =
+                Engine(d.arch).evaluate(w, d.mapping, d.safs);
+            if (!r.valid) {
+                std::printf("[invalid: %s]\n",
+                            r.invalid_reason.c_str());
+            }
+            edps.push_back(r.edp());
+        }
+        // Normalize to ReuseABZ.InnermostSkip (the paper's baseline).
+        double base = edps[0];
+        std::printf("%-10.4f", density);
+        std::size_t best = 0;
+        for (std::size_t i = 0; i < edps.size(); ++i) {
+            if (edps[i] < edps[best]) {
+                best = i;
+            }
+            std::printf(" %-28.4f", edps[i] / base);
+        }
+        std::printf("  %s.%s\n", toString(combos[best].df).c_str(),
+                    toString(combos[best].sf).c_str());
+    }
+    std::printf("\n(EDP normalized per density row to "
+                "ReuseABZ.InnermostSkip; 'best' marks the winning "
+                "combination)\n");
+    return 0;
+}

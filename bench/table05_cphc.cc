@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Table 5 reproduction: computes simulated per host cycle (CPHC) for
+ * Eyeriss / Eyeriss V2 PE / SCNN modeled by Sparseloop on ResNet50,
+ * BERT-base, VGG16, and AlexNet.
+ *
+ * Expected shape: CPHCs in the thousands (vs. < 0.5 for cycle-level
+ * simulators, cf. speedup_vs_cyclelevel); Eyeriss' simpler SAFs give
+ * it the highest CPHC.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "apps/designs.hh"
+#include "apps/dnn_models.hh"
+#include "bench/bench_util.hh"
+#include "model/engine.hh"
+
+using namespace sparseloop;
+
+namespace {
+
+struct Network
+{
+    std::string name;
+    std::vector<ConvLayerShape> layers;
+};
+
+std::vector<Network>
+networks()
+{
+    std::vector<Network> nets;
+    {
+        // ResNet50: representative layers scaled by stage repetition.
+        Network n{"ResNet50", {}};
+        for (const auto &l : apps::resnet50RepresentativeLayers()) {
+            n.layers.push_back(l);
+        }
+        nets.push_back(std::move(n));
+    }
+    {
+        // BERT-base matmuls viewed as 1x1 convolutions.
+        Network n{"BERT-base", {}};
+        for (const auto &mm : apps::bertBaseMatmuls()) {
+            ConvLayerShape l;
+            l.name = mm.name;
+            l.k = mm.n;       // output features
+            l.c = mm.k;       // input features
+            l.p = 32;         // 512 tokens = 32 x 16
+            l.q = 16;
+            l.r = 1;
+            l.s = 1;
+            l.input_density = 0.7;  // post-GELU/ReLU-ish
+            n.layers.push_back(l);
+        }
+        nets.push_back(std::move(n));
+    }
+    nets.push_back(Network{"VGG16", apps::vgg16ConvLayers()});
+    nets.push_back(Network{"AlexNet", apps::alexnetConvLayers()});
+    return nets;
+}
+
+double
+cphcFor(const std::string &design,
+        const std::vector<ConvLayerShape> &layers)
+{
+    double total_computes = 0.0;
+    double seconds = bench::timeSeconds([&] {
+        for (const auto &layer : layers) {
+            Workload w = makeConv(layer);
+            apps::DesignPoint d =
+                design == "Eyeriss" ? apps::buildEyeriss(w)
+                : design == "EyerissV2PE" ? apps::buildEyerissV2Pe(w)
+                                          : apps::buildScnn(w);
+            Engine engine(d.arch);
+            EvalResult r = engine.evaluate(w, d.mapping, d.safs);
+            total_computes += r.computes.total();
+        }
+    });
+    double host_cycles = seconds * bench::kHostGhz * 1e9;
+    return total_computes / host_cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table 5: computes simulated per host cycle (CPHC)");
+    auto nets = networks();
+    std::printf("%-13s", "design");
+    for (const auto &n : nets) {
+        std::printf(" %-12s", n.name.c_str());
+    }
+    std::printf("\n");
+    for (const std::string design :
+         {"Eyeriss", "EyerissV2PE", "SCNN"}) {
+        std::printf("%-13s", design.c_str());
+        for (const auto &n : nets) {
+            // Warm up once, then measure.
+            cphcFor(design, n.layers);
+            double cphc = cphcFor(design, n.layers);
+            std::printf(" %-12.1f", cphc);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(cycle-level simulators like STONNE reach < 0.5 "
+                "CPHC; see speedup_vs_cyclelevel for the direct "
+                "comparison)\n");
+    return 0;
+}

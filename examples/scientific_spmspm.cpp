@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Scientific-computing scenario: choose an accelerator for banded
+ * sparse matrix products (stencil-style matrices from PDE solvers,
+ * cf. Table 4's "Banded / scientific simulations" row).
+ *
+ * Demonstrates (1) the coordinate-dependent banded density model,
+ * (2) how the hierarchical-skip design exploits the abundant empty
+ * tiles of banded operands, and (3) cross-checking a statistical
+ * prediction against concrete generated matrices.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/designs.hh"
+#include "density/actual_data.hh"
+#include "density/banded.hh"
+#include "model/engine.hh"
+#include "tensor/generate.hh"
+
+using namespace sparseloop;
+
+int
+main()
+{
+    const std::int64_t n = 512;
+    const std::int64_t half_bw = 4;
+
+    std::printf("workload: %lldx%lld banded matrices (half-bandwidth "
+                "%lld) multiplied on the Sec. 7.2 design grid\n\n",
+                static_cast<long long>(n), static_cast<long long>(n),
+                static_cast<long long>(half_bw));
+
+    // Statistical banded models for both operands.
+    auto banded_model = [&] {
+        return std::make_shared<BandedDensity>(n, n, half_bw, 1.0);
+    };
+    std::printf("%-30s %-14s %-14s\n", "design", "cycles",
+                "EDP(uJ*cyc)");
+    double best_edp = 0.0;
+    std::string best;
+    for (auto df : {apps::CoDesignDataflow::ReuseABZ,
+                    apps::CoDesignDataflow::ReuseAZ}) {
+        for (auto sf : {apps::CoDesignSafs::InnermostSkip,
+                        apps::CoDesignSafs::HierarchicalSkip}) {
+            Workload w = makeMatmul(n, n, n);
+            w.setDensity("A", banded_model());
+            w.setDensity("B", banded_model());
+            apps::DesignPoint d = apps::buildCoDesign(w, df, sf);
+            EvalResult r =
+                Engine(d.arch).evaluate(w, d.mapping, d.safs);
+            std::printf("%-30s %-14.0f %-14.3e\n", d.name.c_str(),
+                        r.cycles, r.edp() / 1e6);
+            if (best.empty() || r.edp() < best_edp) {
+                best_edp = r.edp();
+                best = d.name;
+            }
+        }
+    }
+    std::printf("-> best design for banded operands: %s\n\n",
+                best.c_str());
+
+    // Cross-check the banded statistical model against concrete data
+    // on the winning design.
+    auto a_data = std::make_shared<SparseTensor>(
+        generateBanded(n, n, half_bw, 1.0, 11));
+    auto b_data = std::make_shared<SparseTensor>(
+        generateBanded(n, n, half_bw, 1.0, 12));
+    Workload w_stat = makeMatmul(n, n, n);
+    w_stat.setDensity("A", banded_model());
+    w_stat.setDensity("B", banded_model());
+    Workload w_actual = makeMatmul(n, n, n);
+    w_actual.setDensity("A", std::make_shared<ActualDataDensity>(
+        a_data));
+    w_actual.setDensity("B", std::make_shared<ActualDataDensity>(
+        b_data));
+    apps::DesignPoint d = apps::buildCoDesign(
+        w_stat, apps::CoDesignDataflow::ReuseAZ,
+        apps::CoDesignSafs::HierarchicalSkip);
+    EvalResult stat = Engine(d.arch).evaluate(w_stat, d.mapping,
+                                              d.safs);
+    apps::DesignPoint d2 = apps::buildCoDesign(
+        w_actual, apps::CoDesignDataflow::ReuseAZ,
+        apps::CoDesignSafs::HierarchicalSkip);
+    EvalResult act = Engine(d2.arch).evaluate(w_actual, d2.mapping,
+                                              d2.safs);
+    std::printf("banded statistical model: %.0f cycles, %.2f uJ\n",
+                stat.cycles, stat.energy_pj / 1e6);
+    std::printf("actual generated data:    %.0f cycles, %.2f uJ\n",
+                act.cycles, act.energy_pj / 1e6);
+    std::printf("\n(the banded model predicts the concrete matrices' "
+                "behavior without touching the data — the fast path "
+                "for mapspace search)\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Design-space exploration for sparse matrix multiplication: use the
+ * mapper to find the best mapping per (dataflow x SAF) design across
+ * application density regimes — a compact version of the Sec. 7.2
+ * co-design case study, but with automatic mapspace search instead of
+ * hand-written mappings.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/designs.hh"
+#include "mapper/mapper.hh"
+#include "model/engine.hh"
+
+using namespace sparseloop;
+
+int
+main()
+{
+    struct Scenario
+    {
+        const char *domain;
+        double density;
+    };
+    std::vector<Scenario> scenarios{
+        {"scientific simulation", 1e-3},
+        {"graph analytics", 1e-2},
+        {"pruned DNN", 0.2},
+        {"dense-ish DNN", 0.5},
+    };
+
+    std::printf("%-24s %-9s %-28s %-14s %-12s\n", "domain", "density",
+                "best design", "EDP(uJ*cyc)", "mappings");
+    for (const auto &sc : scenarios) {
+        double best_edp = 0.0;
+        std::string best_name;
+        std::int64_t evaluated = 0;
+        for (auto df : {apps::CoDesignDataflow::ReuseABZ,
+                        apps::CoDesignDataflow::ReuseAZ}) {
+            for (auto sf : {apps::CoDesignSafs::InnermostSkip,
+                            apps::CoDesignSafs::HierarchicalSkip}) {
+                Workload w = makeMatmul(256, 256, 256);
+                bindUniformDensities(
+                    w, {{"A", sc.density}, {"B", sc.density}});
+                // Take the hand mapping as the seed design; also let
+                // the mapper search the constrained mapspace.
+                apps::DesignPoint d = apps::buildCoDesign(w, df, sf);
+                Engine engine(d.arch);
+                EvalResult hand =
+                    engine.evaluate(w, d.mapping, d.safs);
+                double edp = hand.valid ? hand.edp() : 0.0;
+
+                MapperOptions opts;
+                opts.samples = 400;
+                opts.objective = Objective::Edp;
+                MapperResult searched =
+                    Mapper(w, d.arch, d.safs, opts).search();
+                evaluated += searched.candidates_evaluated;
+                if (searched.found &&
+                    (edp == 0.0 || searched.eval.edp() < edp)) {
+                    edp = searched.eval.edp();
+                }
+                if (edp > 0.0 &&
+                    (best_name.empty() || edp < best_edp)) {
+                    best_edp = edp;
+                    best_name = d.name;
+                }
+            }
+        }
+        std::printf("%-24s %-9.4f %-28s %-14.3e %-12lld\n", sc.domain,
+                    sc.density, best_name.c_str(), best_edp / 1e6,
+                    static_cast<long long>(evaluated));
+    }
+    std::printf("\nThe winning dataflow x SAF combination flips as the "
+                "workload gets denser: co-design of dataflow, SAFs and "
+                "sparsity matters (Sec. 7.2).\n");
+    return 0;
+}

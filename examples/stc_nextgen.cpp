@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The Sec. 7.1 design flow in miniature: investigate a next-generation
+ * sparse tensor core. Compare STC against DSTC, identify the SMEM
+ * bandwidth limitation that blocks the naive extension to sparser
+ * structured ratios, and evaluate the dual-compression fix.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/designs.hh"
+#include "density/structured.hh"
+#include "model/engine.hh"
+
+using namespace sparseloop;
+
+namespace {
+
+EvalResult
+evalStc(std::int64_t n, std::int64_t m, apps::StcVariant v,
+        double input_density)
+{
+    Workload w = makeMatmul(256, 768, 256);
+    w.setDensity("A", makeStructuredDensity(n, m));
+    bindUniformDensities(w, {{"B", input_density}});
+    apps::DesignPoint d = apps::buildStc(w, n, m, v);
+    return Engine(d.arch).evaluate(w, d.mapping, d.safs);
+}
+
+} // namespace
+
+int
+main()
+{
+    const double input_density = 0.55;
+    Workload wd = makeMatmul(256, 768, 256);
+    apps::DesignPoint dense = apps::buildDenseTensorCore(wd);
+    EvalResult rd =
+        Engine(dense.arch).evaluate(wd, dense.mapping, dense.safs);
+
+    std::printf("step 1: the current STC gets its ideal 2x at 2:4\n");
+    EvalResult r24 = evalStc(2, 4, apps::StcVariant::Baseline,
+                             input_density);
+    std::printf("  2:4 speedup over dense TC: %.2fx\n\n",
+                rd.cycles / r24.cycles);
+
+    std::printf("step 2: naively extend to sparser ratios "
+                "(STC-flexible)\n");
+    for (auto [n, m] : {std::pair<std::int64_t, std::int64_t>{2, 6},
+                        {2, 8}}) {
+        EvalResult r = evalStc(n, m, apps::StcVariant::Flexible,
+                               input_density);
+        std::printf("  2:%lld speedup %.2fx (theoretical %.2fx) -- "
+                    "SMEM bandwidth demand %.0f words/cycle\n",
+                    static_cast<long long>(m), rd.cycles / r.cycles,
+                    static_cast<double>(m) / n,
+                    r.levels[1].bandwidth_demand);
+    }
+    std::printf("  -> the naive extension is bandwidth-bound: the "
+                "uncompressed input stream grows as m/n (Fig. 16)\n\n");
+
+    std::printf("step 3: compress the inputs too "
+                "(STC-flexible-rle-dualCompress)\n");
+    for (auto [n, m] : {std::pair<std::int64_t, std::int64_t>{2, 6},
+                        {2, 8}}) {
+        EvalResult r =
+            evalStc(n, m, apps::StcVariant::FlexibleRleDualCompress,
+                    input_density);
+        std::printf("  2:%lld speedup %.2fx, EDP %.3f of dense\n",
+                    static_cast<long long>(m), rd.cycles / r.cycles,
+                    r.edp() / rd.edp());
+    }
+    std::printf("  -> compressing the inputs relieves the bandwidth "
+                "wall without input-based skipping; the speedups come "
+                "purely from bandwidth-requirement reduction "
+                "(Sec. 7.1.4)\n");
+    return 0;
+}

@@ -1,0 +1,555 @@
+/**
+ * @file
+ * Design zoo implementation.
+ */
+
+#include "apps/designs.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace sparseloop {
+namespace apps {
+
+std::int64_t
+pickTile(std::int64_t bound, std::int64_t target)
+{
+    std::int64_t best = 1;
+    for (auto d : math::divisors(bound)) {
+        if (d <= target) {
+            best = d;
+        }
+    }
+    return best;
+}
+
+namespace {
+
+StorageLevelSpec
+dramSpec(double bw = 32.0)
+{
+    StorageLevelSpec l;
+    l.name = "DRAM";
+    l.storage_class = StorageClass::DRAM;
+    l.bandwidth_words_per_cycle = bw;
+    return l;
+}
+
+StorageLevelSpec
+sramSpec(std::string name, double capacity_words, double bw,
+         std::int64_t fanout = 1)
+{
+    StorageLevelSpec l;
+    l.name = std::move(name);
+    l.storage_class = StorageClass::SRAM;
+    l.capacity_words = capacity_words;
+    l.bandwidth_words_per_cycle = bw;
+    l.fanout = fanout;
+    return l;
+}
+
+StorageLevelSpec
+rfSpec(std::string name, double capacity_words, double bw,
+       std::int64_t fanout = 1)
+{
+    StorageLevelSpec l = sramSpec(std::move(name), capacity_words, bw,
+                                  fanout);
+    l.storage_class = StorageClass::RegFile;
+    return l;
+}
+
+RankFormat
+rank(RankFormatKind kind, int bits = 0)
+{
+    RankFormat r;
+    r.kind = kind;
+    r.explicit_bits = bits;
+    return r;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Fig. 1 designs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Shared spMspM substrate for the Fig. 1 comparison. */
+DesignPoint
+fig1Base(const Workload &w, const std::string &name)
+{
+    DesignPoint d{
+        name,
+        Architecture(name,
+                     {dramSpec(16.0),
+                      sramSpec("Buffer", 64 * 1024, 32.0, 16)},
+                     ComputeSpec{}),
+        Mapping{},
+        SafSpec{}};
+    std::int64_t m = w.dims()[w.dimIndex("M")].bound;
+    std::int64_t n = w.dims()[w.dimIndex("N")].bound;
+    MappingBuilder b(w, d.arch);
+    std::int64_t sn = pickTile(n, 16);
+    b.spatial(1, "N", sn);
+    b.temporal(1, "M", pickTile(m, 16));
+    b.temporal(1, "K", w.dims()[w.dimIndex("K")].bound);
+    d.mapping = b.buildComplete();
+    return d;
+}
+
+} // namespace
+
+DesignPoint
+buildDenseBaselineDesign(const Workload &w)
+{
+    return fig1Base(w, "dense-baseline");
+}
+
+DesignPoint
+buildBitmaskDesign(const Workload &w)
+{
+    DesignPoint d = fig1Base(w, "bitmask");
+    int A = w.tensorIndex("A");
+    int B = w.tensorIndex("B");
+    // Uncompressed payloads with a validity bitmask at every level:
+    // the bit drives gating, so energy improves but cycles do not.
+    for (int lvl = 0; lvl < 2; ++lvl) {
+        d.safs.addFormat(lvl, A, makeUncompressedBitmask(1));
+        d.safs.addFormat(lvl, B, makeUncompressedBitmask(1));
+    }
+    d.safs.addDoubleSided(SafKind::Gate, 1, A, B);
+    d.safs.addComputeSaf(SafKind::Gate);
+    return d;
+}
+
+DesignPoint
+buildCoordListDesign(const Workload &w)
+{
+    DesignPoint d = fig1Base(w, "coord-list");
+    int A = w.tensorIndex("A");
+    int B = w.tensorIndex("B");
+    // Explicit coordinates point at the next effectual operation:
+    // cycles and energy both drop, at a multi-bit metadata cost.
+    for (int lvl = 0; lvl < 2; ++lvl) {
+        d.safs.addFormat(lvl, A, makeCoordinateList());
+        d.safs.addFormat(lvl, B, makeCoordinateList());
+    }
+    d.safs.addDoubleSided(SafKind::Skip, 1, A, B);
+    d.safs.addComputeSaf(SafKind::Skip);
+    return d;
+}
+
+// ---------------------------------------------------------------------------
+// Eyeriss
+// ---------------------------------------------------------------------------
+
+DesignPoint
+buildEyeriss(const Workload &conv)
+{
+    // DRAM -> 108KB global buffer -> per-PE register files, 168 PEs.
+    DesignPoint d{
+        "eyeriss",
+        Architecture("eyeriss",
+                     {dramSpec(16.0),
+                      sramSpec("GlobalBuffer", 54 * 1024, 32.0, 168),
+                      rfSpec("RegFile", 256, 4.0)},
+                     ComputeSpec{}),
+        Mapping{},
+        SafSpec{}};
+    std::int64_t k = conv.dims()[conv.dimIndex("K")].bound;
+    std::int64_t c = conv.dims()[conv.dimIndex("C")].bound;
+    std::int64_t q = conv.dims()[conv.dimIndex("Q")].bound;
+    MappingBuilder b(conv, d.arch);
+    // Row-stationary-like: output rows spread across the PE array,
+    // filter rows resident in the PEs.
+    b.temporal(1, "P", pickTile(conv.dims()[conv.dimIndex("P")].bound,
+                                8));
+    b.spatial(1, "K", pickTile(k, 14));
+    b.spatial(1, "Q", pickTile(q, 12));
+    b.temporal(1, "R", conv.dims()[conv.dimIndex("R")].bound);
+    b.temporal(2, "C", pickTile(c, 4));
+    b.temporal(2, "S", conv.dims()[conv.dimIndex("S")].bound);
+    d.mapping = b.buildComplete();
+
+    int I = conv.tensorIndex("Inputs");
+    int W = conv.tensorIndex("Weights");
+    int O = conv.tensorIndex("Outputs");
+    // Off-chip I/O in B-RLE (5-bit run lengths, per the chip).
+    TensorFormat brle({rank(RankFormatKind::B),
+                       rank(RankFormatKind::RLE, 5)});
+    d.safs.addFormat(0, I, brle);
+    d.safs.addFormat(0, O, brle);
+    // On-chip inputs carry a zero-detect bitmask for gating.
+    d.safs.addFormat(1, I, makeUncompressedBitmask(1));
+    // Innermost storage gating driven by input zeros (Table 3).
+    d.safs.addGate(2, W, {I});
+    d.safs.addGate(2, O, {I});
+    d.safs.addComputeSaf(SafKind::Gate);
+    return d;
+}
+
+// ---------------------------------------------------------------------------
+// Eyeriss V2 PE
+// ---------------------------------------------------------------------------
+
+DesignPoint
+buildEyerissV2Pe(const Workload &conv)
+{
+    // A single PE: backing store plus the PE scratchpads.
+    DesignPoint d{
+        "eyeriss-v2-pe",
+        Architecture("eyeriss-v2-pe",
+                     {dramSpec(16.0),
+                      sramSpec("PeBuffer", 512 * 1024, 4.0, 1)},
+                     ComputeSpec{}),
+        Mapping{},
+        SafSpec{}};
+    std::int64_t k = conv.dims()[conv.dimIndex("K")].bound;
+    std::int64_t c = conv.dims()[conv.dimIndex("C")].bound;
+    MappingBuilder b(conv, d.arch);
+    // For each input (channel), walk the CSC weight column: the K loop
+    // is innermost.
+    b.temporal(1, "Q", pickTile(conv.dims()[conv.dimIndex("Q")].bound,
+                                4));
+    b.temporal(1, "C", pickTile(c, 32));
+    b.temporal(1, "K", pickTile(k, 32));
+    d.mapping = b.buildComplete();
+
+    int I = conv.tensorIndex("Inputs");
+    int W = conv.tensorIndex("Weights");
+    int O = conv.tensorIndex("Outputs");
+    TensorFormat csc({rank(RankFormatKind::B),
+                      rank(RankFormatKind::UOP),
+                      rank(RankFormatKind::CP)});
+    d.safs.addFormat(1, I, csc);
+    d.safs.addFormat(1, W, csc);
+    d.safs.addSkip(1, W, {I});
+    d.safs.addSkip(1, O, {I, W});
+    d.safs.addComputeSaf(SafKind::Gate);
+    return d;
+}
+
+// ---------------------------------------------------------------------------
+// SCNN
+// ---------------------------------------------------------------------------
+
+DesignPoint
+buildScnn(const Workload &conv)
+{
+    // DRAM -> per-PE buffers (64 PEs, planar-tiled) -> compute.
+    DesignPoint d{
+        "scnn",
+        Architecture("scnn",
+                     {dramSpec(16.0),
+                      sramSpec("PeBuffer", 256 * 1024, 8.0, 64)},
+                     ComputeSpec{}),
+        Mapping{},
+        SafSpec{}};
+    MappingBuilder b(conv, d.arch);
+    // Planar tiling: output plane split across PEs; the cartesian
+    // product of inputs x weights runs inside each PE.
+    b.spatial(1, "P", pickTile(conv.dims()[conv.dimIndex("P")].bound,
+                               8));
+    b.spatial(1, "Q", pickTile(conv.dims()[conv.dimIndex("Q")].bound,
+                               8));
+    b.temporal(1, "C", pickTile(conv.dims()[conv.dimIndex("C")].bound,
+                                16));
+    b.temporal(1, "R", conv.dims()[conv.dimIndex("R")].bound);
+    b.temporal(1, "S", conv.dims()[conv.dimIndex("S")].bound);
+    b.temporal(1, "K", pickTile(conv.dims()[conv.dimIndex("K")].bound,
+                                512));
+    d.mapping = b.buildComplete();
+
+    int I = conv.tensorIndex("Inputs");
+    int W = conv.tensorIndex("Weights");
+    int O = conv.tensorIndex("Outputs");
+    TensorFormat burle({rank(RankFormatKind::B),
+                        rank(RankFormatKind::UOP),
+                        rank(RankFormatKind::RLE, 4)});
+    for (int lvl = 0; lvl < 2; ++lvl) {
+        d.safs.addFormat(lvl, I, burle);
+        d.safs.addFormat(lvl, W, burle);
+    }
+    d.safs.addSkip(1, W, {I});
+    d.safs.addSkip(1, O, {I, W});
+    d.safs.addComputeSaf(SafKind::Gate);
+    return d;
+}
+
+// ---------------------------------------------------------------------------
+// ExTensor
+// ---------------------------------------------------------------------------
+
+DesignPoint
+buildExtensor(const Workload &w)
+{
+    // DRAM -> last-level buffer -> PE buffers -> compute; skipping is
+    // applied hierarchically at every storage level so empty
+    // coarse-grained tiles are eliminated long before data reaches
+    // compute (the hierarchical-elimination technique).
+    DesignPoint d{
+        "extensor",
+        Architecture("extensor",
+                     {dramSpec(32.0),
+                      sramSpec("LLB", 1024 * 1024, 128.0, 1),
+                      sramSpec("PeBuffer", 16 * 1024, 16.0, 128)},
+                     ComputeSpec{}),
+        Mapping{},
+        SafSpec{}};
+    std::int64_t m = w.dims()[w.dimIndex("M")].bound;
+    std::int64_t n = w.dims()[w.dimIndex("N")].bound;
+    std::int64_t k = w.dims()[w.dimIndex("K")].bound;
+    MappingBuilder b(w, d.arch);
+    // Coarse coordinate-space tiles at the LLB, finer tiles spatially
+    // across PEs, pointwise intersection innermost.
+    std::int64_t sm = pickTile(m, 8);
+    std::int64_t sn = pickTile(n, 8);
+    b.temporal(1, "M", pickTile(m / sm, 8));
+    b.temporal(1, "N", pickTile(n / sn, 8));
+    b.spatial(2, "M", sm);
+    b.spatial(2, "N", sn);
+    b.temporal(2, "K", pickTile(k, 256));
+    d.mapping = b.buildComplete();
+
+    int A = w.tensorIndex("A");
+    int B = w.tensorIndex("B");
+    int Z = w.tensorIndex("Z");
+    TensorFormat uopcp({rank(RankFormatKind::UOP),
+                        rank(RankFormatKind::CP)});
+    for (int lvl = 0; lvl < 3; ++lvl) {
+        d.safs.addFormat(lvl, A, uopcp);
+        d.safs.addFormat(lvl, B, uopcp);
+        d.safs.addDoubleSided(SafKind::Skip, lvl, A, B);
+        d.safs.addSkip(lvl, Z, {A, B});
+    }
+    d.safs.addComputeSaf(SafKind::Skip);
+    return d;
+}
+
+// ---------------------------------------------------------------------------
+// Tensor cores: DSTC, STC and variants
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Shared SMEM-RF-Compute tensor-core substrate (Fig. 14). */
+Architecture
+tensorCoreArch(const std::string &name, double smem_bw,
+               double l2_bw = 64.0)
+{
+    // The case study controls the SMEM-RF-Compute subsystem of a
+    // streaming multiprocessor (Fig. 14); the backing store is the
+    // GPU L2, not raw DRAM.
+    StorageLevelSpec l2 = sramSpec("L2", 4 * 1024 * 1024, l2_bw, 1);
+    l2.read_energy_pj = 15.0;
+    l2.write_energy_pj = 16.5;
+    return Architecture(
+        name,
+        {l2,
+         sramSpec("SMEM", 96 * 1024, smem_bw, 1),
+         rfSpec("RegFile", 4 * 1024, 1024.0, 256)},
+        ComputeSpec{});
+}
+
+} // namespace
+
+DesignPoint
+buildDstc(const Workload &w)
+{
+    // Outer-product dataflow, both operands compressed with two-level
+    // bitmaps, skipping on both sides.
+    DesignPoint d{"dstc", tensorCoreArch("dstc", 768.0), Mapping{},
+                  SafSpec{}};
+    std::int64_t m = w.dims()[w.dimIndex("M")].bound;
+    std::int64_t n = w.dims()[w.dimIndex("N")].bound;
+    std::int64_t k = w.dims()[w.dimIndex("K")].bound;
+    MappingBuilder b(w, d.arch);
+    std::int64_t sn = pickTile(n, 16);
+    b.temporal(1, "K", pickTile(k, 1024));  // stream k through SMEM
+    b.spatial(2, "M", pickTile(m, 16));
+    b.spatial(2, "N", sn);
+    // The innermost output-relevant loop models the outer-product
+    // scatter: consecutive products land on different output columns,
+    // so there is no MAC-local accumulator reuse. Pick the smallest
+    // non-trivial factor when the preferred tile does not divide.
+    std::int64_t scatter_space = n / sn;
+    std::int64_t scatter = pickTile(scatter_space, 4);
+    if (scatter == 1 && scatter_space > 1) {
+        for (auto f : math::divisors(scatter_space)) {
+            if (f > 1) {
+                scatter = f;
+                break;
+            }
+        }
+    }
+    b.temporal(2, "N", scatter);
+    // Partial sums merge in SMEM via the operand-collector path
+    // rather than accumulating in the register file: this is the
+    // data-movement overhead that makes DSTC energy-hungry on denser
+    // workloads (Sec. 7.1.1).
+    b.keepOnly(2, {"A", "B"});
+    d.mapping = b.buildComplete();
+
+    int A = w.tensorIndex("A");
+    int B = w.tensorIndex("B");
+    int Z = w.tensorIndex("Z");
+    TensorFormat bb({rank(RankFormatKind::B), rank(RankFormatKind::B)});
+    for (int lvl = 0; lvl <= 2; ++lvl) {
+        d.safs.addFormat(lvl, A, bb);
+        d.safs.addFormat(lvl, B, bb);
+    }
+    d.safs.addDoubleSided(SafKind::Skip, 2, A, B);
+    d.safs.addSkip(2, Z, {A, B});
+    d.safs.addComputeSaf(SafKind::Skip);
+    return d;
+}
+
+DesignPoint
+buildDenseTensorCore(const Workload &w)
+{
+    DesignPoint d{"dense-tc", tensorCoreArch("dense-tc", 768.0),
+                  Mapping{}, SafSpec{}};
+    std::int64_t m = w.dims()[w.dimIndex("M")].bound;
+    std::int64_t n = w.dims()[w.dimIndex("N")].bound;
+    std::int64_t k = w.dims()[w.dimIndex("K")].bound;
+    MappingBuilder b(w, d.arch);
+    b.temporal(1, "K", pickTile(k, 1024));
+    b.spatial(2, "M", pickTile(m, 16));
+    b.spatial(2, "N", pickTile(n, 16));
+    b.temporal(2, "K", 1);
+    d.mapping = b.buildComplete();
+    return d;
+}
+
+DesignPoint
+buildStc(const Workload &w, std::int64_t n_of_m, std::int64_t m_block,
+         StcVariant variant)
+{
+    std::string name = "stc";
+    switch (variant) {
+      case StcVariant::Baseline: name = "stc"; break;
+      case StcVariant::Flexible: name = "stc-flexible"; break;
+      case StcVariant::FlexibleRle: name = "stc-flexible-rle"; break;
+      case StcVariant::FlexibleRleDualCompress:
+        name = "stc-flexible-rle-dualCompress";
+        break;
+    }
+    // SMEM bandwidth is provisioned for the 2:4 case (Sec. 7.1.3): it
+    // just covers the compressed weights plus the 2x uncompressed
+    // input stream and metadata at full 2:4 throughput, so sparser
+    // ratios hit the bandwidth wall. DRAM is HBM-class.
+    DesignPoint d{name, tensorCoreArch(name, 86.0, 256.0), Mapping{},
+                  SafSpec{}};
+    std::int64_t m = w.dims()[w.dimIndex("M")].bound;
+    std::int64_t n = w.dims()[w.dimIndex("N")].bound;
+    std::int64_t k = w.dims()[w.dimIndex("K")].bound;
+    MappingBuilder b(w, d.arch);
+    b.temporal(1, "K", pickTile(k, 4096));
+    b.spatial(2, "M", pickTile(m, 16));
+    b.spatial(2, "N", pickTile(n, 16));
+    // The k loop is innermost: weights and inputs pair pointwise, so
+    // the intersection leader is a single (structured) weight.
+    b.temporal(2, "K", 1);
+    d.mapping = b.buildComplete();
+
+    int A = w.tensorIndex("A");  // structured sparse weights
+    int B = w.tensorIndex("B");  // input activations
+
+    int offset_bits = std::max(1, math::ceilLog2(m_block));
+    (void)n_of_m;
+    TensorFormat weight_fmt =
+        (variant == StcVariant::FlexibleRle ||
+         variant == StcVariant::FlexibleRleDualCompress)
+            ? makeRunLength(1, std::max(1, offset_bits - 1))
+            : TensorFormat({rank(RankFormatKind::CP, offset_bits)},
+                           "CP(offset)");
+    for (int lvl = 1; lvl <= 2; ++lvl) {
+        d.safs.addFormat(lvl, A, weight_fmt);
+    }
+    if (variant == StcVariant::FlexibleRleDualCompress) {
+        // Bitmask-compress inputs in SMEM to relieve bandwidth; the
+        // RF still holds them uncompressed and no input skipping is
+        // added (compute stays weight-synchronized).
+        d.safs.addFormat(1, B, makeBitmask(1));
+    }
+    // Only nonzero weights are processed: inputs are selected by the
+    // weight metadata, which skips input reads and the MAC together.
+    d.safs.addSkip(2, B, {A});
+    d.safs.addComputeSaf(SafKind::Gate);
+    return d;
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 17 co-design grid
+// ---------------------------------------------------------------------------
+
+std::string
+toString(CoDesignDataflow dataflow)
+{
+    return dataflow == CoDesignDataflow::ReuseABZ ? "ReuseABZ"
+                                                  : "ReuseAZ";
+}
+
+std::string
+toString(CoDesignSafs safs)
+{
+    return safs == CoDesignSafs::InnermostSkip ? "InnermostSkip"
+                                               : "HierarchicalSkip";
+}
+
+DesignPoint
+buildCoDesign(const Workload &w, CoDesignDataflow dataflow,
+              CoDesignSafs safs)
+{
+    std::string name = toString(dataflow) + "." + toString(safs);
+    // 256 compute units, 128KB (64K word) on-chip storage (Sec. 7.2).
+    DesignPoint d{
+        name,
+        Architecture(name,
+                     {dramSpec(16.0),
+                      sramSpec("Buffer", 64 * 1024, 512.0, 256)},
+                     ComputeSpec{}),
+        Mapping{},
+        SafSpec{}};
+    std::int64_t m = w.dims()[w.dimIndex("M")].bound;
+    std::int64_t n = w.dims()[w.dimIndex("N")].bound;
+    std::int64_t k = w.dims()[w.dimIndex("K")].bound;
+    int A = w.tensorIndex("A");
+    int B = w.tensorIndex("B");
+
+    MappingBuilder b(w, d.arch);
+    if (dataflow == CoDesignDataflow::ReuseABZ) {
+        // The on-chip B tile is reused across multiple A tiles: an
+        // m-loop sits above the spatial/k loops inside the buffer.
+        b.temporal(1, "M", pickTile(m / pickTile(m, 16), 8));
+        b.spatial(1, "M", pickTile(m, 16));
+        b.spatial(1, "N", pickTile(n, 16));
+        b.temporal(1, "K", pickTile(k, 64));
+    } else {
+        // No on-chip reuse for B: it streams from DRAM.
+        b.spatial(1, "M", pickTile(m, 16));
+        b.spatial(1, "N", pickTile(n, 16));
+        b.temporal(1, "K", pickTile(k, 64));
+        b.keepOnly(1, {"A", "Z"});
+    }
+    d.mapping = b.buildComplete();
+
+    // Both operands compressed on-chip (identical formats across all
+    // four designs, per Table 8's note); off-chip data stays in dense
+    // position space so off-chip traffic savings must come from the
+    // (hierarchical) skipping SAF.
+    d.safs.addFormat(1, A, makeCsr());
+    d.safs.addFormat(1, B, makeCsr());
+    d.safs.addDoubleSided(SafKind::Skip, 1, A, B);
+    if (safs == CoDesignSafs::HierarchicalSkip) {
+        d.safs.addDoubleSided(SafKind::Skip, 0, A, B);
+    }
+    d.safs.addComputeSaf(SafKind::Skip);
+    return d;
+}
+
+} // namespace apps
+} // namespace sparseloop

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Design zoo: the representative sparse tensor accelerators of Table 3
+ * and the case-study designs of Sec. 7, expressed as
+ * (architecture, mapping, SAF) triples over the unified taxonomy.
+ *
+ * | design        | format                     | gating/skipping       |
+ * |---------------|----------------------------|-----------------------|
+ * | Eyeriss       | off-chip B-RLE, on-chip UB | Gate W<-I, Gate O<-I  |
+ * | Eyeriss V2 PE | I/W: B-UOP-CP              | Skip W<-I, Skip O<-I&W|
+ * | SCNN          | I/W: B-UOP-RLE             | Skip W<-I, Skip O<-I&W|
+ * | DSTC          | A/B: B-B                   | Skip A<->B, Z<-A&B    |
+ * | STC           | W: CP (offsets in block)   | Skip I<-W (structured)|
+ * plus the Fig. 1 bitmask/coordinate-list designs and the Fig. 17
+ * dataflow x SAF co-design grid.
+ */
+
+#ifndef SPARSELOOP_APPS_DESIGNS_HH
+#define SPARSELOOP_APPS_DESIGNS_HH
+
+#include <string>
+
+#include "mapping/mapping.hh"
+#include "sparse/saf.hh"
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace apps {
+
+/** A fully-specified design point ready for the engine. */
+struct DesignPoint
+{
+    std::string name;
+    Architecture arch;
+    Mapping mapping;
+    SafSpec safs;
+};
+
+/** Largest divisor of @p bound that is <= @p target (>= 1). */
+std::int64_t pickTile(std::int64_t bound, std::int64_t target);
+
+/** @name Fig. 1 designs (Sec. 2.2): spMspM, shared dataflow. */
+/// @{
+/** Bitmask design (Eyeriss-like): saves energy only. */
+DesignPoint buildBitmaskDesign(const Workload &matmul);
+/** Coordinate-list design (SCNN-like): saves energy and time. */
+DesignPoint buildCoordListDesign(const Workload &matmul);
+/** SAF-free dense baseline on the same architecture and dataflow. */
+DesignPoint buildDenseBaselineDesign(const Workload &matmul);
+/// @}
+
+/** @name DNN accelerators (Table 3). Workloads must be CONV7D. */
+/// @{
+DesignPoint buildEyeriss(const Workload &conv);
+DesignPoint buildEyerissV2Pe(const Workload &conv);
+DesignPoint buildScnn(const Workload &conv);
+/// @}
+
+/**
+ * ExTensor (Table 3): general sparse tensor algebra accelerator with
+ * hierarchical elimination — Skip A <-> B and Skip Z <- A & B at
+ * every storage level, six-level UOP-CP format. Workload: matmul.
+ */
+DesignPoint buildExtensor(const Workload &matmul);
+
+/** @name Tensor-core designs (Sec. 7.1). Workloads must be matmul. */
+/// @{
+/** DSTC: dual-side sparsity, outer-product dataflow. */
+DesignPoint buildDstc(const Workload &matmul);
+
+/** Variants of the sparse tensor core case study (Fig. 15). */
+enum class StcVariant
+{
+    Baseline,            ///< CP offsets, 2:4 only behavior
+    Flexible,            ///< CP offsets for any n:m
+    FlexibleRle,         ///< RLE metadata instead of CP
+    FlexibleRleDualCompress, ///< + bitmask-compressed inputs
+};
+
+/**
+ * STC with n:m structured weights (tensor A). The structured density
+ * model must already be bound to A.
+ */
+DesignPoint buildStc(const Workload &matmul, std::int64_t n,
+                     std::int64_t m,
+                     StcVariant variant = StcVariant::Baseline);
+/** The dense tensor core (no sparsity support) on the same budget. */
+DesignPoint buildDenseTensorCore(const Workload &matmul);
+/// @}
+
+/** @name Fig. 17 co-design grid (Sec. 7.2). */
+/// @{
+enum class CoDesignDataflow
+{
+    ReuseABZ, ///< all tensors reused on-chip
+    ReuseAZ,  ///< B streams from DRAM (no on-chip reuse)
+};
+enum class CoDesignSafs
+{
+    InnermostSkip,    ///< Skip A<->B at the innermost storage
+    HierarchicalSkip, ///< Skip A<->B at DRAM and innermost storage
+};
+DesignPoint buildCoDesign(const Workload &matmul,
+                          CoDesignDataflow dataflow, CoDesignSafs safs);
+std::string toString(CoDesignDataflow dataflow);
+std::string toString(CoDesignSafs safs);
+/// @}
+
+} // namespace apps
+} // namespace sparseloop
+
+#endif // SPARSELOOP_APPS_DESIGNS_HH

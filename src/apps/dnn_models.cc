@@ -1,0 +1,142 @@
+/**
+ * @file
+ * DNN layer tables.
+ */
+
+#include "apps/dnn_models.hh"
+
+namespace sparseloop {
+namespace apps {
+
+namespace {
+
+ConvLayerShape
+conv(std::string name, std::int64_t k, std::int64_t c, std::int64_t p,
+     std::int64_t q, std::int64_t r, std::int64_t s,
+     std::int64_t stride = 1, double wd = 1.0, double id = 1.0)
+{
+    ConvLayerShape l;
+    l.name = std::move(name);
+    l.k = k;
+    l.c = c;
+    l.p = p;
+    l.q = q;
+    l.r = r;
+    l.s = s;
+    l.stride = stride;
+    l.weight_density = wd;
+    l.input_density = id;
+    return l;
+}
+
+} // namespace
+
+std::vector<ConvLayerShape>
+alexnetConvLayers()
+{
+    // Input densities reflect measured ReLU activation sparsity from
+    // the Eyeriss paper's AlexNet analysis; conv1 inputs are dense
+    // images. Weight density 1 (unpruned baseline).
+    return {
+        conv("conv1", 96, 3, 55, 55, 11, 11, 4, 1.0, 1.0),
+        conv("conv2", 256, 48, 27, 27, 5, 5, 1, 1.0, 0.63),
+        conv("conv3", 384, 256, 13, 13, 3, 3, 1, 1.0, 0.54),
+        conv("conv4", 384, 192, 13, 13, 3, 3, 1, 1.0, 0.45),
+        conv("conv5", 256, 192, 13, 13, 3, 3, 1, 1.0, 0.42),
+    };
+}
+
+std::vector<ConvLayerShape>
+vgg16ConvLayers()
+{
+    return {
+        conv("conv1_1", 64, 3, 224, 224, 3, 3, 1, 1.0, 1.0),
+        conv("conv1_2", 64, 64, 224, 224, 3, 3, 1, 1.0, 0.70),
+        conv("conv2_1", 128, 64, 112, 112, 3, 3, 1, 1.0, 0.65),
+        conv("conv2_2", 128, 128, 112, 112, 3, 3, 1, 1.0, 0.60),
+        conv("conv3_1", 256, 128, 56, 56, 3, 3, 1, 1.0, 0.55),
+        conv("conv3_2", 256, 256, 56, 56, 3, 3, 1, 1.0, 0.50),
+        conv("conv3_3", 256, 256, 56, 56, 3, 3, 1, 1.0, 0.50),
+        conv("conv4_1", 512, 256, 28, 28, 3, 3, 1, 1.0, 0.45),
+        conv("conv4_2", 512, 512, 28, 28, 3, 3, 1, 1.0, 0.40),
+        conv("conv4_3", 512, 512, 28, 28, 3, 3, 1, 1.0, 0.40),
+        conv("conv5_1", 512, 512, 14, 14, 3, 3, 1, 1.0, 0.35),
+        conv("conv5_2", 512, 512, 14, 14, 3, 3, 1, 1.0, 0.35),
+        conv("conv5_3", 512, 512, 14, 14, 3, 3, 1, 1.0, 0.35),
+    };
+}
+
+std::vector<ConvLayerShape>
+resnet50RepresentativeLayers()
+{
+    // One representative layer per stage/shape class; activation
+    // densities follow typical post-ReLU measurements.
+    return {
+        conv("conv1", 64, 3, 112, 112, 7, 7, 2, 1.0, 1.0),
+        conv("res2a_2b", 64, 64, 56, 56, 3, 3, 1, 1.0, 0.55),
+        conv("res3a_2b", 128, 128, 28, 28, 3, 3, 1, 1.0, 0.50),
+        conv("res4a_2b", 256, 256, 14, 14, 3, 3, 1, 1.0, 0.45),
+        conv("res5a_2b", 512, 512, 7, 7, 3, 3, 1, 1.0, 0.40),
+        conv("res4_1x1", 1024, 256, 14, 14, 1, 1, 1, 1.0, 0.45),
+    };
+}
+
+std::vector<MobileNetLayer>
+mobilenetV1Layers()
+{
+    std::vector<MobileNetLayer> layers;
+    auto add = [&](ConvLayerShape s, bool dw) {
+        layers.push_back({std::move(s), dw});
+    };
+    // First standard conv.
+    add(conv("conv1", 32, 3, 112, 112, 3, 3, 2, 1.0, 1.0), false);
+    // (C, P=Q, stride) per depthwise/pointwise pair.
+    struct Stage { std::int64_t c_in, c_out, hw; std::int64_t stride; };
+    std::vector<Stage> stages{
+        {32, 64, 112, 1},  {64, 128, 56, 2},   {128, 128, 56, 1},
+        {128, 256, 28, 2}, {256, 256, 28, 1},  {256, 512, 14, 2},
+        {512, 512, 14, 1}, {512, 512, 14, 1},  {512, 512, 14, 1},
+        {512, 512, 14, 1}, {512, 512, 14, 1},  {512, 1024, 7, 2},
+        {1024, 1024, 7, 1},
+    };
+    int idx = 2;
+    for (const auto &st : stages) {
+        std::int64_t out_hw = st.stride == 2 ? st.hw / 2 : st.hw;
+        ConvLayerShape dw = conv(
+            "dw" + std::to_string(idx), 1, st.c_in, out_hw, out_hw, 3, 3,
+            st.stride, 1.0, 0.55);
+        add(dw, true);
+        ConvLayerShape pw = conv(
+            "pw" + std::to_string(idx), st.c_out, st.c_in, out_hw,
+            out_hw, 1, 1, 1, 1.0, 0.50);
+        add(pw, false);
+        ++idx;
+    }
+    return layers;
+}
+
+std::vector<MatmulShape>
+bertBaseMatmuls()
+{
+    // Hidden 768, heads 12, FFN 3072, sequence 512; 12 encoder layers.
+    return {
+        {"qkv_proj", 512, 768, 768 * 3, 12},
+        {"attn_out", 512, 768, 768, 12},
+        {"ffn_up", 512, 768, 3072, 12},
+        {"ffn_down", 512, 3072, 768, 12},
+    };
+}
+
+std::vector<ConvLayerShape>
+withDensities(std::vector<ConvLayerShape> layers, double weight_density,
+              double input_density)
+{
+    for (auto &l : layers) {
+        l.weight_density = weight_density;
+        l.input_density = input_density;
+    }
+    return layers;
+}
+
+} // namespace apps
+} // namespace sparseloop

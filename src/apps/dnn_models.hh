@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Workload zoo: layer-shape tables for the DNNs used in the paper's
+ * evaluation (Table 5, Fig. 12, Fig. 15, Table 7): AlexNet, VGG16,
+ * ResNet50 (representative layers), MobileNet V1, and BERT-base
+ * expressed as matrix multiplications.
+ *
+ * Layer shapes come from the original papers; density columns carry
+ * the typical activation/weight sparsity assumptions the experiments
+ * use (the paper itself models workloads by shape + density only).
+ */
+
+#ifndef SPARSELOOP_APPS_DNN_MODELS_HH
+#define SPARSELOOP_APPS_DNN_MODELS_HH
+
+#include <vector>
+
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace apps {
+
+/** The five AlexNet CONV layers (Krizhevsky et al., NIPS'12). */
+std::vector<ConvLayerShape> alexnetConvLayers();
+
+/** The 13 VGG16 CONV layers (Simonyan & Zisserman, ICLR'15). */
+std::vector<ConvLayerShape> vgg16ConvLayers();
+
+/**
+ * Representative ResNet50 CONV layers (He et al., 2015), one per
+ * distinct shape class, as used by the Fig. 15 case study.
+ */
+std::vector<ConvLayerShape> resnet50RepresentativeLayers();
+
+/** MobileNet V1 layers (Howard et al., 2017); depthwise flagged. */
+struct MobileNetLayer
+{
+    ConvLayerShape shape;
+    bool depthwise = false;
+};
+std::vector<MobileNetLayer> mobilenetV1Layers();
+
+/**
+ * BERT-base encoder matmuls (Devlin et al., 2018) for a sequence
+ * length of 512: QKV projections, attention output, FFN up/down.
+ * Returned as (M, K, N) triples with one entry per distinct shape.
+ */
+struct MatmulShape
+{
+    std::string name;
+    std::int64_t m = 1, k = 1, n = 1;
+    /** Per-layer repeat count within the network. */
+    int repeats = 1;
+};
+std::vector<MatmulShape> bertBaseMatmuls();
+
+/** Scale layer densities (e.g. pruning sweep helpers). */
+std::vector<ConvLayerShape>
+withDensities(std::vector<ConvLayerShape> layers, double weight_density,
+              double input_density);
+
+} // namespace apps
+} // namespace sparseloop
+
+#endif // SPARSELOOP_APPS_DNN_MODELS_HH

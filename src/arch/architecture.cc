@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Architecture implementation.
+ */
+
+#include "arch/architecture.hh"
+
+#include "common/logging.hh"
+
+namespace sparseloop {
+
+Architecture::Architecture(std::string name,
+                           std::vector<StorageLevelSpec> levels,
+                           ComputeSpec compute)
+    : name_(std::move(name)), levels_(std::move(levels)),
+      compute_(std::move(compute))
+{
+    if (levels_.empty()) {
+        SL_FATAL("architecture needs at least one storage level");
+    }
+    for (const auto &l : levels_) {
+        if (l.fanout < 1) {
+            SL_FATAL("level ", l.name, " has invalid fanout ", l.fanout);
+        }
+        if (l.word_bits < 1) {
+            SL_FATAL("level ", l.name, " has invalid word width");
+        }
+        if (l.block_size_words < 1) {
+            SL_FATAL("level ", l.name, " has invalid block size");
+        }
+    }
+}
+
+int
+Architecture::levelIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        if (levels_[i].name == name) {
+            return static_cast<int>(i);
+        }
+    }
+    SL_FATAL("unknown storage level '", name, "' in architecture ",
+             name_);
+}
+
+std::int64_t
+Architecture::maxComputeUnits() const
+{
+    std::int64_t units = 1;
+    for (const auto &l : levels_) {
+        units *= l.fanout;
+    }
+    return units;
+}
+
+} // namespace sparseloop

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Architecture specification (Sec. 5.1): an ordered hierarchy of
+ * storage levels (outermost / largest first, e.g. DRAM -> SMEM -> RF)
+ * feeding an array of compute units. Each level carries capacity,
+ * word width, bandwidth, and fanout attributes used by the dataflow
+ * and micro-architecture modeling steps.
+ */
+
+#ifndef SPARSELOOP_ARCH_ARCHITECTURE_HH
+#define SPARSELOOP_ARCH_ARCHITECTURE_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sparseloop {
+
+/** Storage technology class, used by the energy model. */
+enum class StorageClass
+{
+    DRAM,
+    SRAM,
+    RegFile,
+};
+
+/** One storage level of the hierarchy. */
+struct StorageLevelSpec
+{
+    std::string name;
+    StorageClass storage_class = StorageClass::SRAM;
+
+    /** Capacity in data words; infinite for DRAM by default. */
+    double capacity_words =
+        std::numeric_limits<double>::infinity();
+
+    /** Bits per data word. */
+    int word_bits = 16;
+
+    /**
+     * Read+write bandwidth in words per cycle available to EACH
+     * instance of this level.
+     */
+    double bandwidth_words_per_cycle =
+        std::numeric_limits<double>::infinity();
+
+    /** Maximum spatial fanout to the next-inner level (or compute). */
+    std::int64_t fanout = 1;
+
+    /**
+     * Access granularity in words: storage is read/written in blocks
+     * of this many words (segmented block accesses, Sec. 5.4). Word
+     * counts are converted to ceil(words / block) block accesses for
+     * bandwidth and energy; a sparse tile that shrinks below the block
+     * granularity stops saving proportionally.
+     */
+    std::int64_t block_size_words = 1;
+
+    /** Optional per-action energy overrides in pJ (negative = derive). */
+    double read_energy_pj = -1.0;
+    double write_energy_pj = -1.0;
+};
+
+/** The compute (MAC) level. */
+struct ComputeSpec
+{
+    std::string name = "MAC";
+    int datapath_bits = 16;
+    /** Optional energy override in pJ (negative = derive). */
+    double mac_energy_pj = -1.0;
+};
+
+/**
+ * Architecture: storage levels ordered outermost (index 0) to
+ * innermost, plus the compute level.
+ */
+class Architecture
+{
+  public:
+    Architecture(std::string name, std::vector<StorageLevelSpec> levels,
+                 ComputeSpec compute);
+
+    const std::string &name() const { return name_; }
+    int levelCount() const { return static_cast<int>(levels_.size()); }
+    const StorageLevelSpec &level(int i) const { return levels_[i]; }
+    StorageLevelSpec &level(int i) { return levels_[i]; }
+    const std::vector<StorageLevelSpec> &levels() const { return levels_; }
+    const ComputeSpec &compute() const { return compute_; }
+
+    /** Index of a level by name; fatal when absent. */
+    int levelIndex(const std::string &name) const;
+
+    /** Innermost storage level index. */
+    int innermost() const { return levelCount() - 1; }
+
+    /** Maximum total compute units (product of all fanouts). */
+    std::int64_t maxComputeUnits() const;
+
+  private:
+    std::string name_;
+    std::vector<StorageLevelSpec> levels_;
+    ComputeSpec compute_;
+};
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_ARCH_ARCHITECTURE_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Accelergy-lite energy model implementation.
+ *
+ * Constants are public 45nm-class estimates in the spirit of the
+ * numbers popularized by Horowitz (ISSCC'14) and used by Eyeriss /
+ * Accelergy documentation:
+ *   - DRAM access:  ~200 pJ per 16-bit word
+ *   - SRAM access:  grows ~sqrt(capacity); ~6 pJ at 100 KiB / 16 bits
+ *   - register file: ~0.12 pJ per 16-bit word at small sizes
+ *   - 16-bit MAC:   ~2.2 pJ (1 pJ multiply + adder + control)
+ */
+
+#include "arch/energy_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sparseloop {
+
+namespace {
+
+constexpr double kDramEnergyPj16 = 200.0;
+constexpr double kSramRefEnergyPj16 = 6.0;     // at 100 KiB, 16-bit word
+constexpr double kSramRefCapacityBits = 100.0 * 1024.0 * 8.0;
+constexpr double kRegFileEnergyPj16 = 0.12;
+constexpr double kRegFileRefBits = 512.0 * 8.0; // scale above 512 B
+constexpr double kMacEnergyPj16 = 2.2;
+
+} // namespace
+
+double
+EnergyModel::referenceReadEnergy(const StorageLevelSpec &level)
+{
+    double width_scale = static_cast<double>(level.word_bits) / 16.0;
+    switch (level.storage_class) {
+      case StorageClass::DRAM:
+        return kDramEnergyPj16 * width_scale;
+      case StorageClass::SRAM: {
+        double cap_bits = std::isinf(level.capacity_words)
+            ? kSramRefCapacityBits
+            : level.capacity_words * level.word_bits;
+        double cap_scale =
+            std::sqrt(std::max(1.0, cap_bits / kSramRefCapacityBits));
+        // Small SRAMs approach register-file costs; floor the scale.
+        cap_scale = std::max(cap_scale,
+            std::sqrt(std::max(1e-3, cap_bits / kSramRefCapacityBits)));
+        return kSramRefEnergyPj16 * cap_scale * width_scale;
+      }
+      case StorageClass::RegFile: {
+        double cap_bits = std::isinf(level.capacity_words)
+            ? kRegFileRefBits
+            : level.capacity_words * level.word_bits;
+        double cap_scale =
+            std::max(1.0, std::sqrt(cap_bits / kRegFileRefBits));
+        return kRegFileEnergyPj16 * cap_scale * width_scale;
+      }
+    }
+    SL_PANIC("unknown storage class");
+}
+
+double
+EnergyModel::referenceMacEnergy(int datapath_bits)
+{
+    double w = static_cast<double>(datapath_bits) / 16.0;
+    // Multiplier energy grows ~quadratically with width, adder linearly;
+    // use an intermediate exponent as a pragmatic blend.
+    return kMacEnergyPj16 * std::pow(w, 1.5);
+}
+
+EnergyModel::EnergyModel(const Architecture &arch, double gated_fraction,
+                         int metadata_bits_per_word)
+    : gated_fraction_(gated_fraction),
+      metadata_bits_per_word_(metadata_bits_per_word)
+{
+    if (gated_fraction_ < 0.0 || gated_fraction_ > 1.0) {
+        SL_FATAL("gated fraction out of range: ", gated_fraction_);
+    }
+    for (int i = 0; i < arch.levelCount(); ++i) {
+        const auto &l = arch.level(i);
+        double read = l.read_energy_pj >= 0.0 ? l.read_energy_pj
+                                              : referenceReadEnergy(l);
+        double write = l.write_energy_pj >= 0.0 ? l.write_energy_pj
+                                                : read * 1.1;
+        read_pj_.push_back(read);
+        write_pj_.push_back(write);
+        word_bits_.push_back(l.word_bits);
+    }
+    mac_pj_ = arch.compute().mac_energy_pj >= 0.0
+        ? arch.compute().mac_energy_pj
+        : referenceMacEnergy(arch.compute().datapath_bits);
+}
+
+double
+EnergyModel::storageEnergy(int level, ActionKind kind) const
+{
+    SL_ASSERT(level >= 0 &&
+              level < static_cast<int>(read_pj_.size()),
+              "level out of range");
+    double meta_scale = static_cast<double>(metadata_bits_per_word_) /
+                        static_cast<double>(word_bits_[level]);
+    switch (kind) {
+      case ActionKind::Read:
+        return read_pj_[level];
+      case ActionKind::Write:
+        return write_pj_[level];
+      case ActionKind::GatedRead:
+        return read_pj_[level] * gated_fraction_;
+      case ActionKind::GatedWrite:
+        return write_pj_[level] * gated_fraction_;
+      case ActionKind::MetadataRead:
+        return read_pj_[level] * meta_scale;
+      case ActionKind::MetadataWrite:
+        return write_pj_[level] * meta_scale;
+      case ActionKind::Skipped:
+        return 0.0;
+      default:
+        SL_PANIC("compute action queried on storage level");
+    }
+}
+
+double
+EnergyModel::computeEnergy(ActionKind kind) const
+{
+    switch (kind) {
+      case ActionKind::Compute:
+        return mac_pj_;
+      case ActionKind::GatedCompute:
+        return mac_pj_ * gated_fraction_;
+      case ActionKind::Skipped:
+        return 0.0;
+      default:
+        SL_PANIC("storage action queried on compute level");
+    }
+}
+
+} // namespace sparseloop

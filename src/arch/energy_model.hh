@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Accelergy-lite: an architecture-level per-action energy estimator in
+ * the spirit of Accelergy [Wu et al., ICCAD'19], which the paper uses
+ * as its energy back end (Sec. 5.4). Energies are derived from public
+ * 45nm-class constants; the paper's artifact makes the same
+ * substitution for its proprietary node.
+ *
+ * Fine-grained action types follow Sec. 5.3.4: a dense access becomes
+ * one of {actual, gated, skipped}; actual and gated accesses consume
+ * energy (gated at a strongly reduced rate), skipped accesses are free.
+ * Metadata accesses are scaled by the metadata/data width ratio.
+ */
+
+#ifndef SPARSELOOP_ARCH_ENERGY_MODEL_HH
+#define SPARSELOOP_ARCH_ENERGY_MODEL_HH
+
+#include "arch/architecture.hh"
+
+namespace sparseloop {
+
+/** Fine-grained action kinds (Sec. 5.3.4). */
+enum class ActionKind
+{
+    Read,
+    Write,
+    GatedRead,
+    GatedWrite,
+    MetadataRead,
+    MetadataWrite,
+    Compute,
+    GatedCompute,
+    Skipped,  ///< placeholder; always zero energy, zero cycles
+};
+
+/**
+ * Per-action energy table derived from an architecture.
+ */
+class EnergyModel
+{
+  public:
+    /**
+     * @param gated_fraction energy of a gated action relative to the
+     *        actual action (clock/data gating still burns some clock
+     *        and leakage power).
+     * @param metadata_bits_per_word width assumed for one metadata
+     *        access when scaling metadata actions.
+     */
+    explicit EnergyModel(const Architecture &arch,
+                         double gated_fraction = 0.12,
+                         int metadata_bits_per_word = 8);
+
+    /** Energy in pJ of one action at storage level @p level. */
+    double storageEnergy(int level, ActionKind kind) const;
+
+    /** Energy in pJ of one compute action. */
+    double computeEnergy(ActionKind kind) const;
+
+    double gatedFraction() const { return gated_fraction_; }
+    int metadataBitsPerWord() const { return metadata_bits_per_word_; }
+
+    /**
+     * Reference per-access read energy in pJ for a storage level
+     * (public 45nm-class numbers, scaled by capacity and word width).
+     */
+    static double referenceReadEnergy(const StorageLevelSpec &level);
+
+    /** Reference MAC energy in pJ for a datapath width. */
+    static double referenceMacEnergy(int datapath_bits);
+
+  private:
+    std::vector<double> read_pj_;
+    std::vector<double> write_pj_;
+    double mac_pj_ = 0.0;
+    double gated_fraction_;
+    int metadata_bits_per_word_;
+    std::vector<int> word_bits_;
+};
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_ARCH_ENERGY_MODEL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Implementation of the logging / error-reporting helpers.
+ */
+
+#include "common/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace sparseloop {
+
+namespace {
+
+std::atomic<bool> fatal_throws{true};
+
+} // namespace
+
+void
+setFatalThrows(bool throws)
+{
+    fatal_throws.store(throws);
+}
+
+namespace detail {
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "fatal: " << msg << " (" << file << ":" << line << ")";
+    if (fatal_throws.load()) {
+        throw FatalError(oss.str());
+    }
+    std::cerr << oss.str() << std::endl;
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")"
+              << std::endl;
+    std::abort();
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace sparseloop

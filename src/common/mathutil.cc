@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Implementation of combinatorial helpers.
+ */
+
+#include "common/mathutil.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace sparseloop {
+namespace math {
+
+double
+logFactorial(std::int64_t n)
+{
+    SL_ASSERT(n >= 0, "logFactorial of negative number ", n);
+    return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double
+logChoose(std::int64_t n, std::int64_t k)
+{
+    if (k < 0 || k > n || n < 0) {
+        return -std::numeric_limits<double>::infinity();
+    }
+    return logFactorial(n) - logFactorial(k) - logFactorial(n - k);
+}
+
+double
+choose(std::int64_t n, std::int64_t k)
+{
+    double lc = logChoose(n, k);
+    if (std::isinf(lc)) {
+        return 0.0;
+    }
+    return std::exp(lc);
+}
+
+double
+hypergeometricPmf(std::int64_t pop, std::int64_t succ, std::int64_t s,
+                  std::int64_t k)
+{
+    SL_ASSERT(pop >= 0 && succ >= 0 && s >= 0,
+              "invalid hypergeometric parameters");
+    if (succ > pop || s > pop) {
+        return 0.0;
+    }
+    if (k < std::max<std::int64_t>(0, s - (pop - succ)) ||
+        k > std::min(s, succ)) {
+        return 0.0;
+    }
+    double lp = logChoose(succ, k) + logChoose(pop - succ, s - k) -
+                logChoose(pop, s);
+    return std::exp(lp);
+}
+
+double
+hypergeometricProbEmpty(std::int64_t pop, std::int64_t succ, std::int64_t s)
+{
+    if (succ <= 0) {
+        return 1.0;
+    }
+    if (s <= 0) {
+        return 1.0;
+    }
+    if (s > pop - succ) {
+        // Not enough zeros in the population to fill the sample.
+        return 0.0;
+    }
+    double lp = logChoose(pop - succ, s) - logChoose(pop, s);
+    return std::exp(lp);
+}
+
+double
+hypergeometricMean(std::int64_t pop, std::int64_t succ, std::int64_t s)
+{
+    if (pop == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(s) * static_cast<double>(succ) /
+           static_cast<double>(pop);
+}
+
+std::int64_t
+hypergeometricMax(std::int64_t pop, std::int64_t succ, std::int64_t s)
+{
+    (void)pop;
+    return std::min(s, succ);
+}
+
+double
+binomialPmf(std::int64_t n, double p, std::int64_t k)
+{
+    if (k < 0 || k > n) {
+        return 0.0;
+    }
+    if (p <= 0.0) {
+        return k == 0 ? 1.0 : 0.0;
+    }
+    if (p >= 1.0) {
+        return k == n ? 1.0 : 0.0;
+    }
+    double lp = logChoose(n, k) + k * std::log(p) +
+                (n - k) * std::log1p(-p);
+    return std::exp(lp);
+}
+
+int
+ceilLog2(std::int64_t x)
+{
+    if (x <= 1) {
+        return 0;
+    }
+    int bits = 0;
+    std::int64_t v = x - 1;
+    while (v > 0) {
+        v >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    SL_ASSERT(b > 0, "ceilDiv by non-positive divisor ", b);
+    return (a + b - 1) / b;
+}
+
+std::vector<std::int64_t>
+divisors(std::int64_t n)
+{
+    SL_ASSERT(n >= 1, "divisors of non-positive number ", n);
+    std::vector<std::int64_t> low, high;
+    for (std::int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            low.push_back(d);
+            if (d != n / d) {
+                high.push_back(n / d);
+            }
+        }
+    }
+    low.insert(low.end(), high.rbegin(), high.rend());
+    return low;
+}
+
+double
+relativeError(double a, double b, double eps)
+{
+    double denom = std::max(std::abs(b), eps);
+    return std::abs(a - b) / denom;
+}
+
+} // namespace math
+} // namespace sparseloop

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Combinatorial and probabilistic helpers used by the statistical density
+ * models (Sec. 5.3.2 of the paper). All heavy-tail computations go through
+ * log-gamma to stay numerically stable for tensors with millions of
+ * elements.
+ */
+
+#ifndef SPARSELOOP_COMMON_MATHUTIL_HH
+#define SPARSELOOP_COMMON_MATHUTIL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sparseloop {
+namespace math {
+
+/** Natural log of n! via lgamma. Requires n >= 0. */
+double logFactorial(std::int64_t n);
+
+/** Natural log of binomial coefficient C(n, k); -inf when k out of range. */
+double logChoose(std::int64_t n, std::int64_t k);
+
+/** Binomial coefficient as a double (may overflow to inf for huge inputs). */
+double choose(std::int64_t n, std::int64_t k);
+
+/**
+ * Hypergeometric PMF: probability that a sample of @p s elements drawn
+ * without replacement from a population of @p pop elements containing
+ * @p succ successes contains exactly @p k successes.
+ */
+double hypergeometricPmf(std::int64_t pop, std::int64_t succ,
+                         std::int64_t s, std::int64_t k);
+
+/**
+ * Probability that a sample of @p s elements drawn without replacement
+ * from a population of @p pop elements with @p succ nonzeros contains
+ * no nonzero at all, i.e., the tile-empty probability of the uniform
+ * density model.
+ */
+double hypergeometricProbEmpty(std::int64_t pop, std::int64_t succ,
+                               std::int64_t s);
+
+/** Mean of the hypergeometric distribution: s * succ / pop. */
+double hypergeometricMean(std::int64_t pop, std::int64_t succ,
+                          std::int64_t s);
+
+/** Largest support value with nonzero probability: min(s, succ). */
+std::int64_t hypergeometricMax(std::int64_t pop, std::int64_t succ,
+                               std::int64_t s);
+
+/** Binomial PMF with success probability p (used as large-pop limit). */
+double binomialPmf(std::int64_t n, double p, std::int64_t k);
+
+/** ceil(log2(x)) for x >= 1; returns 0 for x <= 1. */
+int ceilLog2(std::int64_t x);
+
+/** Integer ceiling division; requires b > 0. */
+std::int64_t ceilDiv(std::int64_t a, std::int64_t b);
+
+/** All positive divisors of n in increasing order; requires n >= 1. */
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+/** Relative error |a - b| / max(|b|, eps). */
+double relativeError(double a, double b, double eps = 1e-12);
+
+} // namespace math
+} // namespace sparseloop
+
+#endif // SPARSELOOP_COMMON_MATHUTIL_HH

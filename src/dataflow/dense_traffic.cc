@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Dense traffic (dataflow modeling) implementation.
+ */
+
+#include "dataflow/dense_traffic.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sparseloop {
+
+NestAnalysis::NestAnalysis(const Workload &workload,
+                           const Architecture &arch,
+                           const Mapping &mapping)
+    : workload_(workload), arch_(arch), mapping_(mapping)
+{
+}
+
+double
+NestAnalysis::temporalMultiplier(int t, int lvl) const
+{
+    // Concatenate the subnests above lvl and scan from the innermost
+    // loop outward: leading irrelevant loops grant temporal reuse; the
+    // first relevant loop and everything outside it multiply.
+    double m = 1.0;
+    bool seen_relevant = false;
+    for (int l = std::min(lvl, mapping_.levelCount()); l-- > 0;) {
+        const auto &loops = mapping_.level(l).loops;
+        for (std::size_t i = loops.size(); i-- > 0;) {
+            const Loop &loop = loops[i];
+            // Bound-1 and spatial loops never advance the tile in
+            // time: they are transparent to the reuse scan.
+            if (loop.spatial || loop.bound == 1) {
+                continue;
+            }
+            if (!seen_relevant &&
+                !workload_.dimRelevant(t, loop.dim)) {
+                continue;
+            }
+            seen_relevant = true;
+            m *= static_cast<double>(loop.bound);
+        }
+    }
+    return m;
+}
+
+double
+NestAnalysis::transferCount(int t, int lvl) const
+{
+    double footprint;
+    std::int64_t instances;
+    if (lvl >= mapping_.levelCount()) {
+        // Virtual compute level: one element per operand per MAC.
+        footprint = 1.0;
+        instances = mapping_.computeInstances();
+        lvl = mapping_.levelCount();
+    } else {
+        auto tiles = mapping_.dimTilesAtLevel(workload_, lvl);
+        footprint = static_cast<double>(
+            volume(workload_.tensorTileExtents(t, tiles)));
+        instances = mapping_.instancesAtLevel(lvl);
+    }
+    return footprint * static_cast<double>(instances) *
+           temporalMultiplier(t, lvl);
+}
+
+double
+NestAnalysis::multicastFactor(int t, int from, int to) const
+{
+    double mcast = 1.0;
+    for (int l = from; l < to && l < mapping_.levelCount(); ++l) {
+        for (const auto &loop : mapping_.level(l).loops) {
+            if (loop.spatial && !workload_.dimRelevant(t, loop.dim)) {
+                mcast *= static_cast<double>(loop.bound);
+            }
+        }
+    }
+    return mcast;
+}
+
+std::vector<int>
+NestAnalysis::keepLevels(int t) const
+{
+    std::vector<int> ks;
+    for (int l = 0; l < mapping_.levelCount(); ++l) {
+        // The outermost level is the backing store and always keeps.
+        if (l == 0 || mapping_.level(l).keeps(t)) {
+            ks.push_back(l);
+        }
+    }
+    return ks;
+}
+
+int
+NestAnalysis::innermostKeepLevel(int t) const
+{
+    return keepLevels(t).back();
+}
+
+DenseTraffic
+NestAnalysis::analyze() const
+{
+    mapping_.validate(workload_, arch_);
+
+    const int S = mapping_.levelCount();
+    const int T = workload_.tensorCount();
+    DenseTraffic out;
+    out.levels.assign(S, std::vector<TensorLevelDense>(T));
+    out.instances.resize(S);
+    for (int l = 0; l < S; ++l) {
+        out.instances[l] = mapping_.instancesAtLevel(l);
+    }
+    out.compute_instances = mapping_.computeInstances();
+    out.computes = static_cast<double>(workload_.denseComputeCount());
+
+    for (int l = 0; l < S; ++l) {
+        auto tiles = mapping_.dimTilesAtLevel(workload_, l);
+        for (int t = 0; t < T; ++t) {
+            auto &rec = out.levels[l][t];
+            rec.kept = (l == 0) || mapping_.level(l).keeps(t);
+            rec.tile_extents = workload_.tensorTileExtents(t, tiles);
+            rec.footprint =
+                static_cast<double>(volume(rec.tile_extents));
+        }
+    }
+
+    for (int t = 0; t < T; ++t) {
+        const bool is_output = workload_.tensor(t).is_output;
+        auto keeps = keepLevels(t);
+        // Traffic between consecutive keeping levels.
+        for (std::size_t i = 0; i + 1 < keeps.size(); ++i) {
+            int a = keeps[i];
+            int b = keeps[i + 1];
+            double x = transferCount(t, b);
+            double mcast = multicastFactor(t, a, b);
+            if (is_output) {
+                out.levels[b][t].drains += x;
+                out.levels[a][t].updates += x / mcast;
+            } else {
+                out.levels[b][t].fills += x;
+                out.levels[a][t].reads += x / mcast;
+            }
+        }
+        // Boundary between the innermost keeping level and compute.
+        int inner = keeps.back();
+        double x = transferCount(t, S);
+        double mcast = multicastFactor(t, inner, S);
+        if (is_output) {
+            out.levels[inner][t].updates += x / mcast;
+        } else {
+            out.levels[inner][t].reads += x / mcast;
+        }
+        // Accumulation reads: every update beyond the first write of
+        // an element residency is a read-modify-write.
+        if (is_output) {
+            for (int a : keeps) {
+                auto &rec = out.levels[a][t];
+                double residencies = transferCount(t, a);
+                rec.acc_reads =
+                    std::max(0.0, rec.updates - residencies);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace sparseloop

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The actual-data density model (Table 4): tile statistics are computed
+ * exactly from a concrete sparse tensor instead of a statistical law.
+ * Slower, but exact — this is the model the paper uses to close the gap
+ * on Eyeriss V2 PE validation (Sec. 6.3.2).
+ */
+
+#ifndef SPARSELOOP_DENSITY_ACTUAL_DATA_HH
+#define SPARSELOOP_DENSITY_ACTUAL_DATA_HH
+
+#include <memory>
+
+#include "density/density_model.hh"
+#include "tensor/sparse_tensor.hh"
+
+namespace sparseloop {
+
+class ActualDataDensity : public DensityModel
+{
+  public:
+    explicit ActualDataDensity(std::shared_ptr<const SparseTensor> data);
+
+    std::string name() const override { return "actual-data"; }
+    double tensorDensity() const override;
+    double expectedOccupancy(std::int64_t tile_elems) const override;
+    double probEmpty(std::int64_t tile_elems) const override;
+    std::int64_t maxOccupancy(std::int64_t tile_elems) const override;
+    OccupancyDistribution
+    distribution(std::int64_t tile_elems) const override;
+    bool coordinateDependent() const override { return true; }
+
+    double expectedOccupancyShaped(const Shape &extents) const override;
+    double probEmptyShaped(const Shape &extents) const override;
+    std::int64_t maxOccupancyShaped(const Shape &extents) const override;
+
+    /** Exact occupancy distribution over aligned tiles of a shape. */
+    OccupancyDistribution
+    distributionShaped(const Shape &extents) const;
+
+    const SparseTensor &data() const { return *data_; }
+
+  private:
+    std::shared_ptr<const SparseTensor> data_;
+
+    Shape defaultTileShape(std::int64_t tile_elems) const;
+};
+
+DensityModelPtr
+makeActualDataDensity(std::shared_ptr<const SparseTensor> data);
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_DENSITY_ACTUAL_DATA_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Banded density model implementation.
+ */
+
+#include "density/banded.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sparseloop {
+
+BandedDensity::BandedDensity(std::int64_t rows, std::int64_t cols,
+                             std::int64_t half_bandwidth,
+                             double in_band_density)
+    : rows_(rows), cols_(cols), half_bandwidth_(half_bandwidth),
+      in_band_density_(in_band_density)
+{
+    if (rows_ < 1 || cols_ < 1 || half_bandwidth_ < 0) {
+        SL_FATAL("invalid banded model parameters");
+    }
+    if (in_band_density_ < 0.0 || in_band_density_ > 1.0) {
+        SL_FATAL("in-band density out of range: ", in_band_density_);
+    }
+    band_elems_ = 0;
+    for (std::int64_t i = 0; i < rows_; ++i) {
+        std::int64_t lo = std::max<std::int64_t>(0, i - half_bandwidth_);
+        std::int64_t hi = std::min(cols_ - 1, i + half_bandwidth_);
+        if (hi >= lo) {
+            band_elems_ += hi - lo + 1;
+        }
+    }
+}
+
+double
+BandedDensity::tensorDensity() const
+{
+    return in_band_density_ * static_cast<double>(band_elems_) /
+           static_cast<double>(rows_ * cols_);
+}
+
+std::int64_t
+BandedDensity::bandElementsInTile(const Point &origin,
+                                  const Shape &extents) const
+{
+    std::int64_t r0 = origin[0];
+    std::int64_t c0 = origin[1];
+    std::int64_t r1 = std::min(rows_, r0 + extents[0]);
+    std::int64_t c1 = std::min(cols_, c0 + extents[1]);
+    std::int64_t count = 0;
+    for (std::int64_t i = std::max<std::int64_t>(0, r0); i < r1; ++i) {
+        std::int64_t lo = std::max(c0, i - half_bandwidth_);
+        std::int64_t hi = std::min(c1 - 1, i + half_bandwidth_);
+        if (hi >= lo) {
+            count += hi - lo + 1;
+        }
+    }
+    return count;
+}
+
+Shape
+BandedDensity::defaultTileShape(std::int64_t tile_elems) const
+{
+    // Pick a roughly square tile no larger than the matrix itself.
+    auto side = static_cast<std::int64_t>(
+        std::llround(std::sqrt(static_cast<double>(tile_elems))));
+    side = std::max<std::int64_t>(1, side);
+    std::int64_t r = std::min(rows_, side);
+    std::int64_t c = std::min(cols_, std::max<std::int64_t>(
+        1, tile_elems / std::max<std::int64_t>(1, r)));
+    return {r, c};
+}
+
+double
+BandedDensity::expectedOccupancyShaped(const Shape &extents) const
+{
+    // Average band coverage over all aligned tile positions.
+    std::int64_t tiles_r = std::max<std::int64_t>(
+        1, (rows_ + extents[0] - 1) / extents[0]);
+    std::int64_t tiles_c = std::max<std::int64_t>(
+        1, (cols_ + extents[1] - 1) / extents[1]);
+    double total = 0.0;
+    for (std::int64_t tr = 0; tr < tiles_r; ++tr) {
+        for (std::int64_t tc = 0; tc < tiles_c; ++tc) {
+            total += static_cast<double>(bandElementsInTile(
+                {tr * extents[0], tc * extents[1]}, extents));
+        }
+    }
+    return in_band_density_ * total /
+           static_cast<double>(tiles_r * tiles_c);
+}
+
+double
+BandedDensity::probEmptyShaped(const Shape &extents) const
+{
+    // Fraction of aligned tile positions that never touch the band;
+    // in-band thinning adds a small correction for touched tiles.
+    std::int64_t tiles_r = std::max<std::int64_t>(
+        1, (rows_ + extents[0] - 1) / extents[0]);
+    std::int64_t tiles_c = std::max<std::int64_t>(
+        1, (cols_ + extents[1] - 1) / extents[1]);
+    double empty = 0.0;
+    for (std::int64_t tr = 0; tr < tiles_r; ++tr) {
+        for (std::int64_t tc = 0; tc < tiles_c; ++tc) {
+            std::int64_t in_band = bandElementsInTile(
+                {tr * extents[0], tc * extents[1]}, extents);
+            if (in_band == 0) {
+                empty += 1.0;
+            } else if (in_band_density_ < 1.0) {
+                empty += std::pow(1.0 - in_band_density_,
+                                  static_cast<double>(in_band));
+            }
+        }
+    }
+    return empty / static_cast<double>(tiles_r * tiles_c);
+}
+
+std::int64_t
+BandedDensity::maxOccupancyShaped(const Shape &extents) const
+{
+    std::int64_t tiles_r = std::max<std::int64_t>(
+        1, (rows_ + extents[0] - 1) / extents[0]);
+    std::int64_t tiles_c = std::max<std::int64_t>(
+        1, (cols_ + extents[1] - 1) / extents[1]);
+    std::int64_t max_occ = 0;
+    for (std::int64_t tr = 0; tr < tiles_r; ++tr) {
+        for (std::int64_t tc = 0; tc < tiles_c; ++tc) {
+            max_occ = std::max(max_occ, bandElementsInTile(
+                {tr * extents[0], tc * extents[1]}, extents));
+        }
+    }
+    return max_occ;
+}
+
+double
+BandedDensity::expectedOccupancy(std::int64_t tile_elems) const
+{
+    return expectedOccupancyShaped(defaultTileShape(tile_elems));
+}
+
+double
+BandedDensity::probEmpty(std::int64_t tile_elems) const
+{
+    return probEmptyShaped(defaultTileShape(tile_elems));
+}
+
+std::int64_t
+BandedDensity::maxOccupancy(std::int64_t tile_elems) const
+{
+    return maxOccupancyShaped(defaultTileShape(tile_elems));
+}
+
+DensityModelPtr
+makeBandedDensity(std::int64_t rows, std::int64_t cols,
+                  std::int64_t half_bandwidth, double in_band_density)
+{
+    return std::make_shared<BandedDensity>(rows, cols, half_bandwidth,
+                                           in_band_density);
+}
+
+} // namespace sparseloop

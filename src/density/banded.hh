@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The banded density model (Table 4): nonzeros concentrate around the
+ * diagonal of a 2D matrix, which makes fiber density a function of its
+ * coordinates (coordinate-dependent modeling). Representative of
+ * SuiteSparse matrices and stencil-based scientific simulations.
+ */
+
+#ifndef SPARSELOOP_DENSITY_BANDED_HH
+#define SPARSELOOP_DENSITY_BANDED_HH
+
+#include "density/density_model.hh"
+
+namespace sparseloop {
+
+class BandedDensity : public DensityModel
+{
+  public:
+    /**
+     * @param rows, cols matrix shape.
+     * @param half_bandwidth band half-width; (i, j) can be nonzero iff
+     *        |i - j| <= half_bandwidth.
+     * @param in_band_density density of nonzeros inside the band.
+     */
+    BandedDensity(std::int64_t rows, std::int64_t cols,
+                  std::int64_t half_bandwidth, double in_band_density);
+
+    std::string name() const override { return "banded"; }
+    double tensorDensity() const override;
+    double expectedOccupancy(std::int64_t tile_elems) const override;
+    double probEmpty(std::int64_t tile_elems) const override;
+    std::int64_t maxOccupancy(std::int64_t tile_elems) const override;
+    bool coordinateDependent() const override { return true; }
+
+    /** Shaped queries average over all aligned tile positions. */
+    double expectedOccupancyShaped(const Shape &extents) const override;
+    double probEmptyShaped(const Shape &extents) const override;
+    std::int64_t maxOccupancyShaped(const Shape &extents) const override;
+
+    /** Band elements inside the tile at @p origin with @p extents. */
+    std::int64_t bandElementsInTile(const Point &origin,
+                                    const Shape &extents) const;
+
+  private:
+    std::int64_t rows_;
+    std::int64_t cols_;
+    std::int64_t half_bandwidth_;
+    double in_band_density_;
+    std::int64_t band_elems_;
+
+    /** Derive a square-ish tile shape from an element count. */
+    Shape defaultTileShape(std::int64_t tile_elems) const;
+};
+
+DensityModelPtr makeBandedDensity(std::int64_t rows, std::int64_t cols,
+                                  std::int64_t half_bandwidth,
+                                  double in_band_density = 1.0);
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_DENSITY_BANDED_HH

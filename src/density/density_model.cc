@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared behavior for density models.
+ */
+
+#include "density/density_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sparseloop {
+
+double
+OccupancyDistribution::mean() const
+{
+    double m = 0.0;
+    for (const auto &kv : pmf) {
+        m += static_cast<double>(kv.first) * kv.second;
+    }
+    return m;
+}
+
+std::int64_t
+OccupancyDistribution::max() const
+{
+    for (auto it = pmf.rbegin(); it != pmf.rend(); ++it) {
+        if (it->second > 0.0) {
+            return it->first;
+        }
+    }
+    return 0;
+}
+
+double
+OccupancyDistribution::totalMass() const
+{
+    double m = 0.0;
+    for (const auto &kv : pmf) {
+        m += kv.second;
+    }
+    return m;
+}
+
+OccupancyDistribution
+DensityModel::distribution(std::int64_t tile_elems) const
+{
+    OccupancyDistribution dist;
+    double p_empty = probEmpty(tile_elems);
+    double mean = expectedOccupancy(tile_elems);
+    if (p_empty >= 1.0 || mean <= 0.0) {
+        dist.pmf[0] = 1.0;
+        return dist;
+    }
+    // Two-point surrogate: empty with p_empty, otherwise the expected
+    // occupancy conditioned on being non-empty.
+    double cond_mean = mean / (1.0 - p_empty);
+    auto occ = static_cast<std::int64_t>(std::llround(cond_mean));
+    occ = std::max<std::int64_t>(1, std::min(occ, tile_elems));
+    if (p_empty > 0.0) {
+        dist.pmf[0] = p_empty;
+    }
+    dist.pmf[occ] += 1.0 - p_empty;
+    return dist;
+}
+
+double
+DensityModel::expectedOccupancyShaped(const Shape &extents) const
+{
+    return expectedOccupancy(volume(extents));
+}
+
+double
+DensityModel::probEmptyShaped(const Shape &extents) const
+{
+    return probEmpty(volume(extents));
+}
+
+std::int64_t
+DensityModel::maxOccupancyShaped(const Shape &extents) const
+{
+    return maxOccupancy(volume(extents));
+}
+
+} // namespace sparseloop

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Statistical density models (Sec. 5.3.2, Table 4).
+ *
+ * A density model characterizes where the nonzeros of a workload tensor
+ * sit, and answers the questions the sparse modeling step needs about
+ * tiles (fibers) of a given shape:
+ *   - expected occupancy (how many nonzeros a tile holds on average),
+ *   - probability that the tile is entirely empty (drives intersection
+ *     based gating/skipping savings),
+ *   - worst-case occupancy (drives capacity/mapping validity), and
+ *   - the full occupancy distribution (Fig. 9 style analysis).
+ *
+ * Models are either coordinate-independent (uniform, fixed-structured)
+ * or coordinate-dependent (banded, actual data); the shaped interface
+ * lets coordinate-dependent models average over tile positions.
+ */
+
+#ifndef SPARSELOOP_DENSITY_DENSITY_MODEL_HH
+#define SPARSELOOP_DENSITY_DENSITY_MODEL_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "tensor/point.hh"
+
+namespace sparseloop {
+
+/** Discrete distribution over tile occupancies. */
+struct OccupancyDistribution
+{
+    /** occupancy -> probability; omitted entries have probability 0. */
+    std::map<std::int64_t, double> pmf;
+
+    double probOf(std::int64_t occ) const
+    {
+        auto it = pmf.find(occ);
+        return it == pmf.end() ? 0.0 : it->second;
+    }
+    double probEmpty() const { return probOf(0); }
+    double mean() const;
+    std::int64_t max() const;
+    /** Sum of all probabilities (should be ~1). */
+    double totalMass() const;
+};
+
+/**
+ * Abstract statistical density model for one tensor.
+ */
+class DensityModel
+{
+  public:
+    virtual ~DensityModel() = default;
+
+    /** Human-readable model name. */
+    virtual std::string name() const = 0;
+
+    /** Overall tensor density (fraction of nonzeros). */
+    virtual double tensorDensity() const = 0;
+
+    /** Expected nonzero count in a tile of @p tile_elems elements. */
+    virtual double expectedOccupancy(std::int64_t tile_elems) const = 0;
+
+    /** Probability that a tile of @p tile_elems elements is all-zero. */
+    virtual double probEmpty(std::int64_t tile_elems) const = 0;
+
+    /** Worst-case nonzero count in a tile of @p tile_elems elements. */
+    virtual std::int64_t maxOccupancy(std::int64_t tile_elems) const = 0;
+
+    /**
+     * Full occupancy distribution for a tile of @p tile_elems elements.
+     * The default builds a two-point {0, E[occ | nonempty]} surrogate;
+     * concrete models override with the exact law.
+     */
+    virtual OccupancyDistribution
+    distribution(std::int64_t tile_elems) const;
+
+    /**
+     * Shaped variants for coordinate-dependent models; defaults defer
+     * to the element-count interface using the tile volume.
+     */
+    virtual double expectedOccupancyShaped(const Shape &extents) const;
+    virtual double probEmptyShaped(const Shape &extents) const;
+    virtual std::int64_t maxOccupancyShaped(const Shape &extents) const;
+
+    /** Whether fiber density depends on fiber coordinates (Table 4). */
+    virtual bool coordinateDependent() const { return false; }
+};
+
+using DensityModelPtr = std::shared_ptr<const DensityModel>;
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_DENSITY_DENSITY_MODEL_HH

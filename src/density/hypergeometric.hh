@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The uniform density model (Table 4): nonzeros are distributed
+ * uniformly at random across the tensor, so the occupancy of a tile of
+ * s elements follows a hypergeometric law Hypergeometric(N, K, s) with
+ * N the tensor volume and K its nonzero count. This is the workhorse
+ * model for randomly pruned DNNs and activation sparsity.
+ */
+
+#ifndef SPARSELOOP_DENSITY_HYPERGEOMETRIC_HH
+#define SPARSELOOP_DENSITY_HYPERGEOMETRIC_HH
+
+#include "density/density_model.hh"
+
+namespace sparseloop {
+
+class HypergeometricDensity : public DensityModel
+{
+  public:
+    /**
+     * @param tensor_elems total number of elements N in the tensor.
+     * @param density fraction of nonzeros (K = round(density * N)).
+     */
+    HypergeometricDensity(std::int64_t tensor_elems, double density);
+
+    std::string name() const override { return "hypergeometric"; }
+    double tensorDensity() const override;
+    double expectedOccupancy(std::int64_t tile_elems) const override;
+    double probEmpty(std::int64_t tile_elems) const override;
+    std::int64_t maxOccupancy(std::int64_t tile_elems) const override;
+    OccupancyDistribution
+    distribution(std::int64_t tile_elems) const override;
+
+    std::int64_t tensorElements() const { return tensor_elems_; }
+    std::int64_t nonzeroCount() const { return nonzeros_; }
+
+  private:
+    std::int64_t tensor_elems_;
+    std::int64_t nonzeros_;
+};
+
+/** Convenience factory. */
+DensityModelPtr makeUniformDensity(std::int64_t tensor_elems,
+                                   double density);
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_DENSITY_HYPERGEOMETRIC_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-structured (n:m) density model implementation.
+ */
+
+#include "density/structured.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace sparseloop {
+
+FixedStructuredDensity::FixedStructuredDensity(std::int64_t n,
+                                               std::int64_t m)
+    : n_(n), m_(m)
+{
+    if (m_ < 1 || n_ < 0 || n_ > m_) {
+        SL_FATAL("invalid n:m structure ", n, ":", m);
+    }
+}
+
+double
+FixedStructuredDensity::tensorDensity() const
+{
+    return static_cast<double>(n_) / static_cast<double>(m_);
+}
+
+double
+FixedStructuredDensity::expectedOccupancy(std::int64_t tile_elems) const
+{
+    // Whole blocks are deterministic; a partial block behaves like a
+    // without-replacement draw from one block.
+    std::int64_t whole = tile_elems / m_;
+    std::int64_t rem = tile_elems % m_;
+    double occ = static_cast<double>(whole * n_);
+    occ += math::hypergeometricMean(m_, n_, rem);
+    return occ;
+}
+
+double
+FixedStructuredDensity::probEmpty(std::int64_t tile_elems) const
+{
+    if (n_ == 0) {
+        return 1.0;
+    }
+    if (tile_elems <= 0) {
+        return 1.0;
+    }
+    if (tile_elems >= m_) {
+        // Contains (at least one) whole block, which holds n nonzeros.
+        return 0.0;
+    }
+    return math::hypergeometricProbEmpty(m_, n_, tile_elems);
+}
+
+std::int64_t
+FixedStructuredDensity::maxOccupancy(std::int64_t tile_elems) const
+{
+    std::int64_t whole = tile_elems / m_;
+    std::int64_t rem = tile_elems % m_;
+    return whole * n_ + std::min(rem, n_);
+}
+
+OccupancyDistribution
+FixedStructuredDensity::distribution(std::int64_t tile_elems) const
+{
+    OccupancyDistribution dist;
+    std::int64_t whole = tile_elems / m_;
+    std::int64_t rem = tile_elems % m_;
+    std::int64_t base = whole * n_;
+    if (rem == 0) {
+        dist.pmf[base] = 1.0;
+        return dist;
+    }
+    std::int64_t hi = std::min(rem, n_);
+    for (std::int64_t k = 0; k <= hi; ++k) {
+        double p = math::hypergeometricPmf(m_, n_, rem, k);
+        if (p > 0.0) {
+            dist.pmf[base + k] += p;
+        }
+    }
+    return dist;
+}
+
+DensityModelPtr
+makeStructuredDensity(std::int64_t n, std::int64_t m)
+{
+    return std::make_shared<FixedStructuredDensity>(n, m);
+}
+
+} // namespace sparseloop

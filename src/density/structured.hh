@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The fixed-structured density model (Table 4): every aligned block of
+ * m consecutive elements along a rank contains exactly n nonzeros
+ * (the 2:4 pattern of structurally pruned DNNs / NVIDIA STC). The
+ * structure makes per-tile behavior deterministic for tiles that are
+ * multiples of the block, which is why the STC validation in Sec. 6.3.5
+ * reaches 100% accuracy.
+ */
+
+#ifndef SPARSELOOP_DENSITY_STRUCTURED_HH
+#define SPARSELOOP_DENSITY_STRUCTURED_HH
+
+#include "density/density_model.hh"
+
+namespace sparseloop {
+
+class FixedStructuredDensity : public DensityModel
+{
+  public:
+    /**
+     * @param n nonzeros per block.
+     * @param m block size (n <= m).
+     */
+    FixedStructuredDensity(std::int64_t n, std::int64_t m);
+
+    std::string name() const override { return "fixed-structured"; }
+    double tensorDensity() const override;
+    double expectedOccupancy(std::int64_t tile_elems) const override;
+    double probEmpty(std::int64_t tile_elems) const override;
+    std::int64_t maxOccupancy(std::int64_t tile_elems) const override;
+    OccupancyDistribution
+    distribution(std::int64_t tile_elems) const override;
+
+    std::int64_t n() const { return n_; }
+    std::int64_t m() const { return m_; }
+
+  private:
+    std::int64_t n_;
+    std::int64_t m_;
+};
+
+/** Convenience factory for an n:m structured model. */
+DensityModelPtr makeStructuredDensity(std::int64_t n, std::int64_t m);
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_DENSITY_STRUCTURED_HH

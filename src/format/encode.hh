@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Concrete tensor encoders: build the actual compressed representation
+ * of a SparseTensor in a given hierarchical format and measure its
+ * exact storage cost. These are the ground truth the statistical
+ * format models (Sec. 5.3.3) are validated against, and they make the
+ * fibertree-to-format connection concrete: each format rank stores one
+ * tree level's coordinates in its own encoding.
+ */
+
+#ifndef SPARSELOOP_FORMAT_ENCODE_HH
+#define SPARSELOOP_FORMAT_ENCODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "format/tensor_format.hh"
+#include "tensor/fibertree.hh"
+
+namespace sparseloop {
+
+/** Exact cost of one encoded tensor. */
+struct EncodedTensor
+{
+    /** Payload values stored (nonzeros, plus explicit zeros for
+     *  uncompressed ranks and RLE overflow padding). */
+    std::int64_t data_words = 0;
+    /** Exact metadata bits, per format rank (top first). */
+    std::vector<std::int64_t> per_rank_metadata_bits;
+
+    std::int64_t metadataBits() const
+    {
+        std::int64_t total = 0;
+        for (auto b : per_rank_metadata_bits) {
+            total += b;
+        }
+        return total;
+    }
+    double totalBits(int data_bits) const
+    {
+        return static_cast<double>(data_words) * data_bits +
+               static_cast<double>(metadataBits());
+    }
+    double compressionRate(std::int64_t dense_words, int data_bits) const
+    {
+        double enc = totalBits(data_bits);
+        return enc <= 0.0
+            ? 1.0
+            : static_cast<double>(dense_words) * data_bits / enc;
+    }
+};
+
+/**
+ * Encode @p tensor in @p format.
+ *
+ * The tensor's ranks are adapted to the format's rank count the same
+ * way the statistical analyzer does (outer ranks padded, extra inner
+ * ranks flattened), so encoded sizes are directly comparable with
+ * TensorFormat::tileStats() on the same tensor.
+ */
+EncodedTensor encodeTensor(const SparseTensor &tensor,
+                           const TensorFormat &format);
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_FORMAT_ENCODE_HH

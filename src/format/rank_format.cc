@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-rank format model implementation.
+ */
+
+#include "format/rank_format.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace sparseloop {
+
+std::string
+toString(RankFormatKind kind)
+{
+    switch (kind) {
+      case RankFormatKind::U: return "U";
+      case RankFormatKind::UB: return "UB";
+      case RankFormatKind::B: return "B";
+      case RankFormatKind::CP: return "CP";
+      case RankFormatKind::RLE: return "RLE";
+      case RankFormatKind::UOP: return "UOP";
+    }
+    SL_PANIC("unknown rank format");
+}
+
+int
+RankFormat::metadataBits(std::int64_t fiber_shape) const
+{
+    if (explicit_bits > 0) {
+        return explicit_bits;
+    }
+    return std::max(1, math::ceilLog2(fiber_shape));
+}
+
+double
+rleExpectedPadding(double occupancy, double tensor_density, int run_bits)
+{
+    if (occupancy <= 0.0) {
+        return 0.0;
+    }
+    double max_run = std::pow(2.0, run_bits) - 1.0;
+    double zero_frac = 1.0 - std::clamp(tensor_density, 0.0, 1.0);
+    if (zero_frac <= 0.0) {
+        return 0.0;
+    }
+    // P(run >= L) under a geometric run-length law.
+    double p_over = std::pow(zero_frac, max_run);
+    if (p_over >= 1.0) {
+        return 0.0;
+    }
+    return occupancy * p_over / (1.0 - p_over);
+}
+
+double
+RankFormat::fiberMetadataBits(std::int64_t fiber_shape, double occupancy,
+                              std::int64_t payload_index_space,
+                              double tensor_density) const
+{
+    occupancy = std::max(0.0, occupancy);
+    switch (kind) {
+      case RankFormatKind::U:
+        return 0.0;
+      case RankFormatKind::UB:
+      case RankFormatKind::B:
+        return static_cast<double>(fiber_shape);
+      case RankFormatKind::CP:
+        return occupancy * metadataBits(fiber_shape);
+      case RankFormatKind::RLE: {
+        int bits = metadataBits(fiber_shape);
+        double entries = occupancy +
+            rleExpectedPadding(occupancy, tensor_density, bits);
+        return entries * bits;
+      }
+      case RankFormatKind::UOP: {
+        int off_bits = explicit_bits > 0
+            ? explicit_bits
+            : std::max(1, math::ceilLog2(payload_index_space + 1));
+        return static_cast<double>(fiber_shape + 1) * off_bits;
+      }
+    }
+    SL_PANIC("unknown rank format");
+}
+
+} // namespace sparseloop

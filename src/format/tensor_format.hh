@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Hierarchical tensor representation formats (Table 2): a stack of
+ * per-rank formats, top (outermost) rank first, e.g. CSR = UOP-CP,
+ * CSB = UOP-CP-CP, 2D COO = CP^2 (flattened). The format analyzer
+ * combines these with a statistical density model to derive expected
+ * and worst-case storage/metadata overheads for tiles (Sec. 5.3.3).
+ */
+
+#ifndef SPARSELOOP_FORMAT_TENSOR_FORMAT_HH
+#define SPARSELOOP_FORMAT_TENSOR_FORMAT_HH
+
+#include <string>
+#include <vector>
+
+#include "density/density_model.hh"
+#include "format/rank_format.hh"
+
+namespace sparseloop {
+
+/** Expected storage cost of one tile in a given format. */
+struct TileFormatStats
+{
+    /** Payload slots actually stored (values, incl. explicit zeros). */
+    double data_words = 0.0;
+    /** Total metadata bits across ranks. */
+    double metadata_bits = 0.0;
+    /** Per-rank metadata bits (top first). */
+    std::vector<double> per_rank_metadata_bits;
+    /** Dense element count of the tile. */
+    std::int64_t dense_words = 0;
+
+    /** metadata expressed in data-word units. */
+    double metadataWords(int data_bits) const
+    {
+        return data_bits <= 0 ? 0.0 : metadata_bits / data_bits;
+    }
+    /** Total occupied bits (payload + metadata). */
+    double totalBits(int data_bits) const
+    {
+        return data_words * data_bits + metadata_bits;
+    }
+    /** Dense bits / encoded bits; > 1 means the format saves space. */
+    double compressionRate(int data_bits) const
+    {
+        double enc = totalBits(data_bits);
+        return enc <= 0.0
+            ? 1.0
+            : static_cast<double>(dense_words) * data_bits / enc;
+    }
+};
+
+/** Which occupancy estimate drives the stats. */
+enum class OccupancyEstimate
+{
+    Expected,  ///< mean occupancy (traffic/energy analysis)
+    WorstCase, ///< max occupancy (capacity / mapping validity)
+};
+
+class TensorFormat
+{
+  public:
+    TensorFormat() = default;
+    explicit TensorFormat(std::vector<RankFormat> ranks,
+                          std::string name = "");
+
+    bool empty() const { return ranks_.empty(); }
+    std::size_t rankCount() const { return ranks_.size(); }
+    const std::vector<RankFormat> &ranks() const { return ranks_; }
+    const std::string &name() const { return name_; }
+
+    /** Whether any rank compresses away zero coordinates. */
+    bool anyCompressed() const;
+
+    /**
+     * Storage statistics for a tile.
+     *
+     * @param model density model of the full tensor.
+     * @param rank_extents tile extents per *format* rank, top first.
+     *        Use flattenExtents() to adapt tensor-rank extents.
+     * @param estimate expected vs. worst-case occupancy.
+     */
+    TileFormatStats tileStats(const DensityModel &model,
+                              const std::vector<std::int64_t> &rank_extents,
+                              OccupancyEstimate estimate =
+                                  OccupancyEstimate::Expected) const;
+
+    /**
+     * Adapt per-tensor-rank tile extents (outer first) to this format's
+     * rank count: extra inner tensor ranks are flattened into the
+     * format's last rank; missing outer ranks are padded with 1.
+     */
+    std::vector<std::int64_t>
+    flattenExtents(const std::vector<std::int64_t> &tensor_extents) const;
+
+    /** Metadata words moved per stored data word for a tile. */
+    double metadataWordsPerDataWord(const DensityModel &model,
+                                    const std::vector<std::int64_t>
+                                        &rank_extents,
+                                    int data_bits) const;
+
+  private:
+    std::vector<RankFormat> ranks_;
+    std::string name_;
+};
+
+/** @name Classic format factories (Table 2). */
+/// @{
+TensorFormat makeUncompressed(std::size_t rank_count = 1);
+TensorFormat makeBitmask(std::size_t rank_count = 1);
+TensorFormat makeUncompressedBitmask(std::size_t rank_count = 1);
+TensorFormat makeCsr();                 ///< UOP-CP
+TensorFormat makeCoo(std::size_t flattened_ranks = 2); ///< CP^n
+TensorFormat makeCsb();                 ///< UOP-CP-CP
+TensorFormat makeCsf(std::size_t rank_count = 3); ///< CP-CP-CP
+TensorFormat makeRunLength(std::size_t rank_count = 1,
+                           int run_bits = 0);
+TensorFormat makeCoordinateList(int coord_bits = 0); ///< 1-rank CP
+/// @}
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_FORMAT_TENSOR_FORMAT_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Randomized mapspace search implementation.
+ */
+
+#include "mapper/mapper.hh"
+
+#include <algorithm>
+#include <random>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace sparseloop {
+
+Mapper::Mapper(const Workload &workload, const Architecture &arch,
+               const SafSpec &safs, MapperOptions options,
+               MapspaceConstraints constraints)
+    : workload_(workload), arch_(arch), safs_(safs), options_(options),
+      constraints_(std::move(constraints))
+{
+    if (!constraints_.levels.empty() &&
+        static_cast<int>(constraints_.levels.size()) !=
+            arch_.levelCount()) {
+        SL_FATAL("constraint count must match the level count");
+    }
+}
+
+double
+Mapper::objectiveValue(const EvalResult &eval) const
+{
+    switch (options_.objective) {
+      case Objective::Edp: return eval.edp();
+      case Objective::Delay: return eval.cycles;
+      case Objective::Energy: return eval.energy_pj;
+    }
+    SL_PANIC("unknown objective");
+}
+
+std::optional<Mapping>
+Mapper::sampleMapping(std::uint64_t seed) const
+{
+    std::mt19937_64 rng(seed);
+    const int S = arch_.levelCount();
+    const int D = workload_.dimCount();
+
+    // 1. Split each dimension's bound into per-level factors by
+    //    repeatedly peeling random divisors from the innermost level
+    //    upward.
+    std::vector<std::vector<std::int64_t>> factors(
+        S, std::vector<std::int64_t>(D, 1));
+    for (int d = 0; d < D; ++d) {
+        std::int64_t remaining = workload_.dims()[d].bound;
+        for (int l = S - 1; l >= 1 && remaining > 1; --l) {
+            auto divs = math::divisors(remaining);
+            std::uniform_int_distribution<std::size_t> pick(
+                0, divs.size() - 1);
+            std::int64_t f = divs[pick(rng)];
+            factors[l][d] = f;
+            remaining /= f;
+        }
+        factors[0][d] = remaining;
+    }
+
+    // 2. Per level: choose loop order and spatial assignment.
+    std::vector<LevelNest> nests(S);
+    for (int l = 0; l < S; ++l) {
+        const LevelConstraint *con =
+            constraints_.levels.empty() ? nullptr
+                                        : &constraints_.levels[l];
+        std::vector<int> dims;
+        for (int d = 0; d < D; ++d) {
+            if (factors[l][d] > 1) {
+                dims.push_back(d);
+            }
+        }
+        if (con && !con->loop_order.empty()) {
+            // Restrict to, and order by, the constrained sequence.
+            std::vector<int> ordered;
+            for (int d : con->loop_order) {
+                if (factors[l][d] > 1) {
+                    ordered.push_back(d);
+                }
+            }
+            // Any leftover factored dim not in the order makes the
+            // candidate infeasible under the constraint.
+            for (int d : dims) {
+                if (std::find(ordered.begin(), ordered.end(), d) ==
+                    ordered.end()) {
+                    return std::nullopt;
+                }
+            }
+            dims = ordered;
+        } else {
+            std::shuffle(dims.begin(), dims.end(), rng);
+        }
+
+        // Spatial choice: with fanout > 1, try to make one allowed dim
+        // spatial.
+        int spatial_dim = -1;
+        if (arch_.level(l).fanout > 1) {
+            std::vector<int> candidates;
+            for (int d : dims) {
+                bool allowed = !con || con->spatial_dims.empty() ||
+                    std::find(con->spatial_dims.begin(),
+                              con->spatial_dims.end(), d) !=
+                        con->spatial_dims.end();
+                if (allowed && factors[l][d] <= arch_.level(l).fanout) {
+                    candidates.push_back(d);
+                }
+            }
+            if (!candidates.empty()) {
+                std::uniform_int_distribution<std::size_t> pick(
+                    0, candidates.size() - 1);
+                spatial_dim = candidates[pick(rng)];
+            }
+        }
+        for (int d : dims) {
+            nests[l].loops.push_back(
+                {d, factors[l][d], d == spatial_dim});
+        }
+        if (con && !con->keep.empty()) {
+            nests[l].keep.assign(workload_.tensorCount(), false);
+            for (int t : con->keep) {
+                nests[l].keep[t] = true;
+            }
+        }
+    }
+    return Mapping(std::move(nests));
+}
+
+MapperResult
+Mapper::search() const
+{
+    Engine engine(arch_);
+    MapperResult best;
+    double best_obj = 0.0;
+    for (int i = 0; i < options_.samples; ++i) {
+        auto candidate = sampleMapping(options_.seed + i);
+        if (!candidate) {
+            continue;
+        }
+        ++best.candidates_evaluated;
+        EvalResult eval;
+        try {
+            eval = engine.evaluate(workload_, *candidate, safs_);
+        } catch (const FatalError &) {
+            continue;  // malformed candidate (e.g. fanout violation)
+        }
+        if (!eval.valid) {
+            continue;
+        }
+        ++best.candidates_valid;
+        double obj = objectiveValue(eval);
+        if (!best.found || obj < best_obj) {
+            best.found = true;
+            best.mapping = *candidate;
+            best.eval = eval;
+            best_obj = obj;
+        }
+    }
+    return best;
+}
+
+} // namespace sparseloop

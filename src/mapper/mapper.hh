@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Mapspace search (Sec. 5.1 "mapspace constraints"): characterizing a
+ * design properly requires finding its best mapping for each workload.
+ * The mapper enumerates/samples tilings (per-dimension factor splits
+ * across levels), loop orders, and spatial assignments subject to
+ * user constraints, evaluates each candidate with the engine, and
+ * returns the best valid mapping under the chosen objective.
+ */
+
+#ifndef SPARSELOOP_MAPPER_MAPPER_HH
+#define SPARSELOOP_MAPPER_MAPPER_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "model/engine.hh"
+
+namespace sparseloop {
+
+/** Optimization objective. */
+enum class Objective
+{
+    Edp,     ///< energy-delay product
+    Delay,   ///< cycles
+    Energy,  ///< pJ
+};
+
+/** Per-level search constraints. */
+struct LevelConstraint
+{
+    /**
+     * Required relative order of dimensions for the temporal loops at
+     * this level (outer first); empty = any order. Dimensions absent
+     * from the list may not appear at this level.
+     */
+    std::vector<int> loop_order;
+    /** Dimensions allowed to be spatial at this level; empty = none. */
+    std::vector<int> spatial_dims;
+    /** Tensors kept at this level; empty = keep all. */
+    std::vector<int> keep;
+};
+
+/** Mapspace constraints: one entry per storage level (or empty). */
+struct MapspaceConstraints
+{
+    std::vector<LevelConstraint> levels;
+};
+
+struct MapperOptions
+{
+    Objective objective = Objective::Edp;
+    /** Random candidates to evaluate. */
+    int samples = 2000;
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+/** Search outcome. */
+struct MapperResult
+{
+    bool found = false;
+    Mapping mapping;
+    EvalResult eval;
+    std::int64_t candidates_evaluated = 0;
+    std::int64_t candidates_valid = 0;
+};
+
+class Mapper
+{
+  public:
+    Mapper(const Workload &workload, const Architecture &arch,
+           const SafSpec &safs, MapperOptions options = {},
+           MapspaceConstraints constraints = {});
+
+    /** Run the randomized search. */
+    MapperResult search() const;
+
+    /** Objective value of an evaluation under the configured metric. */
+    double objectiveValue(const EvalResult &eval) const;
+
+  private:
+    const Workload &workload_;
+    const Architecture &arch_;
+    const SafSpec &safs_;
+    MapperOptions options_;
+    MapspaceConstraints constraints_;
+
+    /** Draw one random candidate mapping (may be invalid). */
+    std::optional<Mapping> sampleMapping(std::uint64_t seed) const;
+};
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_MAPPER_MAPPER_HH

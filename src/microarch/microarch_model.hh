@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Step three of Sparseloop's modeling pipeline (Sec. 5.4):
+ * micro-architecture modeling. Validates the mapping (compressed tile
+ * footprints must fit each level's capacity), converts the sparse
+ * traffic into processing cycles under per-level bandwidth throttling,
+ * and rolls up energy through the Accelergy-lite back end.
+ *
+ * Cycle rule: cycles are spent for actual and gated accesses and
+ * computes; skipped actions cost nothing. The latency of the design is
+ * the maximum over all components of its per-instance occupied cycles
+ * (bandwidth throttling).
+ */
+
+#ifndef SPARSELOOP_MICROARCH_MICROARCH_MODEL_HH
+#define SPARSELOOP_MICROARCH_MICROARCH_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/energy_model.hh"
+#include "sparse/sparse_analysis.hh"
+
+namespace sparseloop {
+
+/** Per-storage-level evaluation output. */
+struct LevelResult
+{
+    std::string name;
+    /** Occupied cycles (per instance) implied by this level's traffic. */
+    double cycles = 0.0;
+    /** Energy consumed by this level in pJ (all instances). */
+    double energy_pj = 0.0;
+    /** Words of capacity used per instance (expected, incl. metadata). */
+    double occupied_words = 0.0;
+    /** Worst-case occupied words per instance. */
+    double worst_case_words = 0.0;
+    /** Data + metadata words moved per cycle (bandwidth demand). */
+    double bandwidth_demand = 0.0;
+};
+
+/** Full evaluation result for one (workload, arch, mapping, SAFs). */
+struct EvalResult
+{
+    bool valid = true;
+    std::string invalid_reason;
+
+    /** Processing latency in cycles. */
+    double cycles = 0.0;
+    /** Total energy in pJ. */
+    double energy_pj = 0.0;
+    /** Energy-delay product (pJ x cycles). */
+    double edp() const { return energy_pj * cycles; }
+
+    /** Compute action breakdown. */
+    ActionBreakdown computes;
+    double effectual_computes = 0.0;
+    double compute_energy_pj = 0.0;
+    double compute_cycles = 0.0;
+    std::int64_t compute_instances = 1;
+
+    std::vector<LevelResult> levels;
+
+    /** Dense and sparse traffic retained for inspection. */
+    DenseTraffic dense;
+    SparseTraffic sparse;
+
+    /** Utilization of the compute array over the runtime. */
+    double computeUtilization() const
+    {
+        return cycles > 0.0
+            ? computes.actual /
+                  (cycles * static_cast<double>(compute_instances))
+            : 0.0;
+    }
+};
+
+class MicroArchModel
+{
+  public:
+    MicroArchModel(const Architecture &arch, const EnergyModel &energy);
+
+    /**
+     * Evaluate validity, cycles, and energy for sparse traffic.
+     * @param check_capacity disable to rank invalid mappings anyway.
+     */
+    EvalResult evaluate(const SparseTraffic &sparse,
+                        const DenseTraffic &dense,
+                        bool check_capacity = true) const;
+
+  private:
+    const Architecture &arch_;
+    const EnergyModel &energy_;
+};
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_MICROARCH_MICROARCH_MODEL_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Sparseloop engine: the public entry point that chains the three
+ * modeling steps (dataflow -> sparse -> micro-architecture, Fig. 5)
+ * for one (workload, architecture, mapping, SAFs) quadruple.
+ *
+ * Quickstart:
+ * @code
+ *   Workload w = makeMatmul(128, 128, 128);
+ *   bindUniformDensities(w, {{"A", 0.25}, {"B", 0.5}});
+ *   Architecture arch = ...;
+ *   Mapping m = MappingBuilder(w, arch)...buildComplete();
+ *   SafSpec safs;
+ *   safs.addFormat(1, w.tensorIndex("A"), makeCsr())
+ *       .addSkip(1, w.tensorIndex("B"), {w.tensorIndex("A")});
+ *   EvalResult r = Engine(arch).evaluate(w, m, safs);
+ * @endcode
+ */
+
+#ifndef SPARSELOOP_MODEL_ENGINE_HH
+#define SPARSELOOP_MODEL_ENGINE_HH
+
+#include "arch/energy_model.hh"
+#include "microarch/microarch_model.hh"
+
+namespace sparseloop {
+
+/** Tunables for the evaluation. */
+struct EngineOptions
+{
+    /** Reject mappings whose worst-case tiles overflow capacity. */
+    bool check_capacity = true;
+    /** Energy of gated actions relative to actual ones. */
+    double gated_energy_fraction = 0.12;
+    /** Metadata word width assumed by the energy model. */
+    int metadata_bits_per_word = 8;
+};
+
+class Engine
+{
+  public:
+    explicit Engine(Architecture arch, EngineOptions options = {});
+
+    /** Run all three modeling steps. */
+    EvalResult evaluate(const Workload &workload, const Mapping &mapping,
+                        const SafSpec &safs) const;
+
+    /** Evaluate with no SAFs (dense baseline). */
+    EvalResult evaluateDense(const Workload &workload,
+                             const Mapping &mapping) const;
+
+    const Architecture &architecture() const { return arch_; }
+    const EnergyModel &energyModel() const { return energy_; }
+    const EngineOptions &options() const { return options_; }
+
+  private:
+    Architecture arch_;
+    EngineOptions options_;
+    EnergyModel energy_;
+};
+
+/** Render a compact human-readable report of an evaluation. */
+std::string formatReport(const EvalResult &result,
+                         const Workload &workload,
+                         const Architecture &arch);
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_MODEL_ENGINE_HH

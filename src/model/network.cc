@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Network-level evaluation implementation.
+ */
+
+#include "model/network.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace sparseloop {
+
+NetworkEval
+evaluateNetwork(const std::vector<NetworkLayer> &layers,
+                const std::function<std::tuple<Architecture, Mapping,
+                                               SafSpec>(
+                    const Workload &)> &design_for)
+{
+    NetworkEval eval;
+    for (const auto &layer : layers) {
+        auto [arch, mapping, safs] = design_for(layer.workload);
+        Engine engine(std::move(arch));
+        EvalResult r = engine.evaluate(layer.workload, mapping, safs);
+        eval.total_cycles += r.cycles;
+        eval.total_energy_pj += r.energy_pj;
+        eval.total_computes += r.computes.total();
+        eval.total_effectual_computes += r.effectual_computes;
+        eval.all_valid = eval.all_valid && r.valid;
+        eval.layers.push_back({layer.name, std::move(r)});
+    }
+    return eval;
+}
+
+std::string
+formatNetworkReport(const NetworkEval &eval)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(1);
+    oss << std::left << std::setw(16) << "layer" << std::setw(16)
+        << "cycles" << std::setw(14) << "energy_uJ" << std::setw(10)
+        << "valid" << "\n";
+    for (const auto &l : eval.layers) {
+        oss << std::setw(16) << l.name << std::setw(16)
+            << l.result.cycles << std::setw(14)
+            << l.result.energy_pj / 1e6 << std::setw(10)
+            << (l.result.valid ? "yes" : "NO") << "\n";
+    }
+    oss << std::setw(16) << "TOTAL" << std::setw(16)
+        << eval.total_cycles << std::setw(14)
+        << eval.total_energy_pj / 1e6 << std::setw(10)
+        << (eval.all_valid ? "yes" : "NO") << "\n";
+    return oss.str();
+}
+
+} // namespace sparseloop

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Multi-layer (full network) evaluation, following the Sec. 6.1
+ * methodology: Sparseloop performs per-layer evaluations with the
+ * appropriate dataflow and SAFs and aggregates the results to derive
+ * the energy/latency of the full network.
+ */
+
+#ifndef SPARSELOOP_MODEL_NETWORK_HH
+#define SPARSELOOP_MODEL_NETWORK_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/engine.hh"
+
+namespace sparseloop {
+
+/** One layer of a network evaluation. */
+struct LayerEval
+{
+    std::string name;
+    EvalResult result;
+};
+
+/** Aggregated network-level results. */
+struct NetworkEval
+{
+    std::vector<LayerEval> layers;
+    double total_cycles = 0.0;
+    double total_energy_pj = 0.0;
+    double total_computes = 0.0;
+    double total_effectual_computes = 0.0;
+    bool all_valid = true;
+
+    double edp() const { return total_energy_pj * total_cycles; }
+    /** Fraction of dense computes that were algebraically needed. */
+    double effectualFraction() const
+    {
+        return total_computes > 0.0
+            ? total_effectual_computes / total_computes
+            : 1.0;
+    }
+};
+
+/**
+ * Evaluate a sequence of (workload, design) pairs and aggregate.
+ *
+ * @param layers named workloads (e.g. DNN layers).
+ * @param design_for maps a workload to the (arch, mapping, safs) used
+ *        for it — per-layer dataflow selection is the caller's choice,
+ *        matching the per-layer methodology of Sec. 6.1.
+ */
+struct NetworkLayer
+{
+    std::string name;
+    Workload workload;
+};
+
+NetworkEval
+evaluateNetwork(const std::vector<NetworkLayer> &layers,
+                const std::function<std::tuple<Architecture, Mapping,
+                                               SafSpec>(
+                    const Workload &)> &design_for);
+
+/** Render a per-layer + total report. */
+std::string formatNetworkReport(const NetworkEval &eval);
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_MODEL_NETWORK_HH

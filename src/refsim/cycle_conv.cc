@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cycle-level CONV simulator implementation.
+ */
+
+#include "refsim/cycle_conv.hh"
+
+#include <chrono>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace sparseloop {
+namespace refsim {
+
+CycleLevelConvSim::CycleLevelConvSim(CycleConvConfig config)
+    : config_(config)
+{
+    SL_ASSERT(config_.pe_count >= 1, "need at least one PE");
+}
+
+CycleConvStats
+CycleLevelConvSim::run(const ConvLayerShape &shape,
+                       const SparseTensor &weights,
+                       const SparseTensor &inputs) const
+{
+    SL_ASSERT(shape.n == 1, "single-batch simulation only");
+    SL_ASSERT(weights.rankCount() == 4, "weights must be (K,C,R,S)");
+    SL_ASSERT(inputs.rankCount() == 3, "inputs must be (C,H,W)");
+    auto start = std::chrono::steady_clock::now();
+
+    const std::int64_t h = (shape.p - 1) * shape.stride + shape.r;
+    const std::int64_t wid = (shape.q - 1) * shape.stride + shape.s;
+    SL_ASSERT(inputs.shape()[1] == h && inputs.shape()[2] == wid,
+              "input plane shape mismatch");
+
+    // Materialize dense views (the accelerator's buffers).
+    std::vector<double> wv(shape.k * shape.c * shape.r * shape.s, 0.0);
+    for (const auto &pt : weights.sortedNonzeroPoints()) {
+        wv[((pt[0] * shape.c + pt[1]) * shape.r + pt[2]) * shape.s +
+           pt[3]] = weights.at(pt);
+    }
+    std::vector<double> iv(shape.c * h * wid, 0.0);
+    for (const auto &pt : inputs.sortedNonzeroPoints()) {
+        iv[(pt[0] * h + pt[1]) * wid + pt[2]] = inputs.at(pt);
+    }
+
+    CycleConvStats stats;
+    std::vector<double> out(shape.k * shape.p * shape.q, 0.0);
+    // PEs process output channels in parallel; per (c, p, q, r, s)
+    // step the PE group advances together.
+    std::uint64_t steps = 0;
+    for (std::int64_t p = 0; p < shape.p; ++p) {
+        for (std::int64_t q = 0; q < shape.q; ++q) {
+            for (std::int64_t c = 0; c < shape.c; ++c) {
+                for (std::int64_t r = 0; r < shape.r; ++r) {
+                    for (std::int64_t s = 0; s < shape.s; ++s) {
+                        double a = iv[(c * h + p * shape.stride + r) *
+                                          wid +
+                                      q * shape.stride + s];
+                        ++stats.input_reads;
+                        if (config_.skip_on_input && a == 0.0) {
+                            continue;
+                        }
+                        // PE group over output channels.
+                        for (std::int64_t k0 = 0; k0 < shape.k;
+                             k0 += config_.pe_count) {
+                            std::int64_t k1 = std::min<std::int64_t>(
+                                shape.k, k0 + config_.pe_count);
+                            bool any = false;
+                            for (std::int64_t k = k0; k < k1; ++k) {
+                                double wgt =
+                                    wv[((k * shape.c + c) * shape.r +
+                                        r) * shape.s + s];
+                                ++stats.weight_reads;
+                                if (config_.skip_on_weight &&
+                                    wgt == 0.0) {
+                                    continue;
+                                }
+                                any = true;
+                                ++stats.macs;
+                                ++stats.output_updates;
+                                out[(k * shape.p + p) * shape.q + q] +=
+                                    a * wgt;
+                            }
+                            if (any || !config_.skip_on_weight) {
+                                ++steps;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats.cycles = std::max<std::uint64_t>(1, steps);
+    auto end = std::chrono::steady_clock::now();
+    stats.host_seconds =
+        std::chrono::duration<double>(end - start).count();
+    return stats;
+}
+
+} // namespace refsim
+} // namespace sparseloop

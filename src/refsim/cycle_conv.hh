@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A cycle-level simulator for a sparse CONV accelerator processing
+ * element array (STONNE-class role for DNN workloads): iterates the
+ * actual convolution operand data operation by operation, applying
+ * SCNN-style skipping (only nonzero input x nonzero weight pairs take
+ * a cycle). Used to validate Sparseloop's CONV predictions on concrete
+ * data and to anchor the DNN-side modeling-speed comparison.
+ */
+
+#ifndef SPARSELOOP_REFSIM_CYCLE_CONV_HH
+#define SPARSELOOP_REFSIM_CYCLE_CONV_HH
+
+#include <cstdint>
+
+#include "tensor/sparse_tensor.hh"
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace refsim {
+
+struct CycleConvConfig
+{
+    /** Skip pairs where the input activation is zero. */
+    bool skip_on_input = true;
+    /** Skip pairs where the weight is zero. */
+    bool skip_on_weight = true;
+    /** Parallel PEs (output channels processed spatially). */
+    int pe_count = 1;
+};
+
+struct CycleConvStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t input_reads = 0;
+    std::uint64_t weight_reads = 0;
+    std::uint64_t output_updates = 0;
+    double host_seconds = 0.0;
+};
+
+class CycleLevelConvSim
+{
+  public:
+    explicit CycleLevelConvSim(CycleConvConfig config = {});
+
+    /**
+     * Simulate one CONV layer on concrete data.
+     *
+     * @param shape layer geometry (N must be 1).
+     * @param weights (K, C, R, S) tensor.
+     * @param inputs (C, H, W) tensor with
+     *        H = (P-1)*stride + R, W = (Q-1)*stride + S.
+     */
+    CycleConvStats run(const ConvLayerShape &shape,
+                       const SparseTensor &weights,
+                       const SparseTensor &inputs) const;
+
+  private:
+    CycleConvConfig config_;
+};
+
+} // namespace refsim
+} // namespace sparseloop
+
+#endif // SPARSELOOP_REFSIM_CYCLE_CONV_HH

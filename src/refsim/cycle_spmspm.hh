@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A cycle-level simulator for a simple two-level spMspM accelerator.
+ *
+ * This plays the role of STONNE and of the authors' design-specific
+ * simulators in the paper's evaluation (Sec. 6.2/6.3): it iterates the
+ * *actual data* operation by operation while advancing a cycle counter,
+ * so its runtime grows with the workload (very slow by construction)
+ * while its outputs are exact for the concrete tensors. Sparseloop's
+ * statistical predictions are validated against it, and the CPHC
+ * (computes simulated per host cycle) speed comparison is run
+ * against it.
+ *
+ * Modeled machine: DRAM -> Buffer -> PE array, output-stationary
+ * (m, n) with an inner k loop; optional leader-follower skipping of B
+ * on A and compute gating.
+ */
+
+#ifndef SPARSELOOP_REFSIM_CYCLE_SPMSPM_HH
+#define SPARSELOOP_REFSIM_CYCLE_SPMSPM_HH
+
+#include <cstdint>
+
+#include "tensor/sparse_tensor.hh"
+
+namespace sparseloop {
+namespace refsim {
+
+struct CycleSimConfig
+{
+    /** Skip B reads and the MAC when the A operand is zero. */
+    bool skip_on_a = false;
+    /** Gate (no energy, still a cycle) the MAC when an operand is 0. */
+    bool gate_compute = false;
+    /** Parallel PEs (columns of the output processed spatially). */
+    int pe_count = 1;
+    /** Buffer read bandwidth in words per cycle per PE. */
+    double buffer_bw = 1.0;
+};
+
+struct CycleSimStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t dram_reads = 0;
+    std::uint64_t buffer_reads_a = 0;
+    std::uint64_t buffer_reads_b = 0;
+    std::uint64_t macs_performed = 0;
+    std::uint64_t macs_gated = 0;
+    std::uint64_t macs_skipped = 0;
+    std::uint64_t effectual_macs = 0;
+    std::uint64_t output_writes = 0;
+    /** Host wall-clock seconds spent simulating. */
+    double host_seconds = 0.0;
+};
+
+class CycleLevelSpmspmSim
+{
+  public:
+    explicit CycleLevelSpmspmSim(CycleSimConfig config = {});
+
+    /** Simulate Z = A x B on concrete data. */
+    CycleSimStats run(const SparseTensor &a, const SparseTensor &b) const;
+
+  private:
+    CycleSimConfig config_;
+};
+
+} // namespace refsim
+} // namespace sparseloop
+
+#endif // SPARSELOOP_REFSIM_CYCLE_SPMSPM_HH

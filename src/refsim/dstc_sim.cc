@@ -1,0 +1,86 @@
+/**
+ * @file
+ * DSTC outer-product simulator implementation.
+ */
+
+#include "refsim/dstc_sim.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace sparseloop {
+namespace refsim {
+
+DstcSim::DstcSim(DstcSimConfig config)
+    : config_(config)
+{
+    SL_ASSERT(config_.array_rows >= 1 && config_.array_cols >= 1,
+              "invalid array shape");
+}
+
+double
+DstcSim::denseCycles(std::int64_t m, std::int64_t k, std::int64_t n) const
+{
+    double tiles = static_cast<double>(math::ceilDiv(m,
+                       config_.array_rows)) *
+                   static_cast<double>(math::ceilDiv(n,
+                       config_.array_cols));
+    double compute = tiles * static_cast<double>(k);
+    double words = static_cast<double>(k) *
+                   static_cast<double>(m + n);
+    double load = words / config_.smem_bw;
+    return std::max(compute, load);
+}
+
+DstcSimStats
+DstcSim::run(const SparseTensor &a, const SparseTensor &b) const
+{
+    SL_ASSERT(a.rankCount() == 2 && b.rankCount() == 2,
+              "spMspM needs 2D operands");
+    SL_ASSERT(a.shape()[1] == b.shape()[0], "inner dimensions mismatch");
+    auto start = std::chrono::steady_clock::now();
+
+    const std::int64_t k_dim = a.shape()[1];
+    std::vector<std::int64_t> a_col_nnz(k_dim, 0);
+    std::vector<std::int64_t> b_row_nnz(k_dim, 0);
+    for (const auto &p : a.sortedNonzeroPoints()) {
+        ++a_col_nnz[p[1]];
+    }
+    for (const auto &p : b.sortedNonzeroPoints()) {
+        ++b_row_nnz[p[0]];
+    }
+
+    DstcSimStats stats;
+    for (std::int64_t k = 0; k < k_dim; ++k) {
+        std::int64_t na = a_col_nnz[k];
+        std::int64_t nb = b_row_nnz[k];
+        if (na == 0 || nb == 0) {
+            continue;  // the whole outer product is skipped
+        }
+        stats.macs += static_cast<std::uint64_t>(na * nb);
+        std::uint64_t comp =
+            static_cast<std::uint64_t>(
+                math::ceilDiv(na, config_.array_rows) *
+                math::ceilDiv(nb, config_.array_cols));
+        stats.compute_cycles += comp;
+        stats.operand_words += static_cast<std::uint64_t>(na + nb);
+    }
+    stats.load_cycles = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(stats.operand_words) /
+                  config_.smem_bw));
+    stats.cycles = std::max(stats.compute_cycles, stats.load_cycles);
+    stats.cycles = std::max<std::uint64_t>(stats.cycles, 1);
+
+    auto end = std::chrono::steady_clock::now();
+    stats.host_seconds =
+        std::chrono::duration<double>(end - start).count();
+    return stats;
+}
+
+} // namespace refsim
+} // namespace sparseloop

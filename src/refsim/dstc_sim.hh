@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A cycle-approximate simulator of the dual-side sparse tensor core
+ * (DSTC [Wang et al., ISCA'21]) operating on actual data: the
+ * validation baseline for Fig. 13.
+ *
+ * DSTC computes spMspM as a sum of outer products: for every inner
+ * index k, the nonzeros of A's column k multiply the nonzeros of B's
+ * row k on an (array_rows x array_cols) MAC array. Both operands are
+ * compressed (two-level bitmap in the real design), so cycles scale
+ * with the product of per-k nonzero counts; SMEM bandwidth constrains
+ * how fast operands stream in.
+ */
+
+#ifndef SPARSELOOP_REFSIM_DSTC_SIM_HH
+#define SPARSELOOP_REFSIM_DSTC_SIM_HH
+
+#include <cstdint>
+
+#include "tensor/sparse_tensor.hh"
+
+namespace sparseloop {
+namespace refsim {
+
+struct DstcSimConfig
+{
+    int array_rows = 16;
+    int array_cols = 16;
+    /** SMEM operand bandwidth in words per cycle. */
+    double smem_bw = 768.0;
+};
+
+struct DstcSimStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t compute_cycles = 0;
+    std::uint64_t load_cycles = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t operand_words = 0;
+    double host_seconds = 0.0;
+};
+
+class DstcSim
+{
+  public:
+    explicit DstcSim(DstcSimConfig config = {});
+
+    /** Simulate Z = A x B with outer products over k. */
+    DstcSimStats run(const SparseTensor &a, const SparseTensor &b) const;
+
+    /** Cycles of the dense (no sparsity exploitation) equivalent. */
+    double denseCycles(std::int64_t m, std::int64_t k,
+                       std::int64_t n) const;
+
+  private:
+    DstcSimConfig config_;
+};
+
+} // namespace refsim
+} // namespace sparseloop
+
+#endif // SPARSELOOP_REFSIM_DSTC_SIM_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * An actual-data model of the Eyeriss V2 processing element
+ * (Chen et al., JETCAS'19): the validation baseline for Fig. 12.
+ *
+ * The PE stores weights in a CSC-style compressed format; input
+ * activations stream in. For every nonzero input activation the PE
+ * spends one cycle per matching nonzero weight (Skip W <- I and
+ * Skip O <- I & W in SAF terms); zero activations cost nothing
+ * because the compressed activation vector skips them.
+ */
+
+#ifndef SPARSELOOP_REFSIM_EYERISS_V2_PE_HH
+#define SPARSELOOP_REFSIM_EYERISS_V2_PE_HH
+
+#include <cstdint>
+
+#include "tensor/sparse_tensor.hh"
+
+namespace sparseloop {
+namespace refsim {
+
+struct EyerissV2PeStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t weight_reads = 0;
+    std::uint64_t input_reads = 0;
+    std::uint64_t psum_updates = 0;
+    double host_seconds = 0.0;
+};
+
+class EyerissV2PeSim
+{
+  public:
+    /**
+     * Process one PE work unit: @p weights is a (num_outputs x
+     * num_inputs) matrix; @p inputs is a vector of input activations
+     * (1 x num_inputs). Each nonzero input meets the nonzero weights
+     * of its column.
+     */
+    EyerissV2PeStats run(const SparseTensor &weights,
+                         const SparseTensor &inputs) const;
+};
+
+} // namespace refsim
+} // namespace sparseloop
+
+#endif // SPARSELOOP_REFSIM_EYERISS_V2_PE_HH

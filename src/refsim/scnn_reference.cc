@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SCNN closed-form reference activities.
+ */
+
+#include "refsim/scnn_reference.hh"
+
+namespace sparseloop {
+namespace refsim {
+
+ScnnActivities
+scnnReferenceActivities(const ConvLayerShape &s, std::int64_t tile_p,
+                        std::int64_t tile_q)
+{
+    ScnnActivities a;
+    double macs_dense = static_cast<double>(s.macs());
+    double di = s.input_density;
+    double dw = s.weight_density;
+
+    // Cartesian product of nonzero inputs and nonzero weights: only
+    // effectual multiplies happen.
+    a.macs = macs_dense * di * dw;
+    // Every effectual MAC consumes one nonzero weight and one nonzero
+    // input operand from the compressed buffers.
+    a.weight_buffer_reads = a.macs;
+    a.input_buffer_reads = a.macs;
+    // Each effectual product scatters one partial sum.
+    a.accumulator_updates = a.macs;
+    // Final outputs are dense (one value per output coordinate).
+    a.output_writes =
+        static_cast<double>(s.n * s.k * s.p * s.q);
+    // Compressed tensors stream from DRAM once (weights) / once per
+    // planar tile (inputs, including the halo multicast).
+    a.dram_weight_reads =
+        static_cast<double>(s.k * s.c * s.r * s.s) * dw;
+    std::int64_t tp = tile_p > 0 ? tile_p : s.p;
+    std::int64_t tq = tile_q > 0 ? tile_q : s.q;
+    std::int64_t tiles_p = (s.p + tp - 1) / tp;
+    std::int64_t tiles_q = (s.q + tq - 1) / tq;
+    double in_rows = static_cast<double>((tp - 1) * s.stride + s.r);
+    double in_cols = static_cast<double>((tq - 1) * s.stride + s.s);
+    a.dram_input_reads = static_cast<double>(s.n * s.c) *
+        static_cast<double>(tiles_p * tiles_q) * in_rows * in_cols *
+        di;
+    return a;
+}
+
+} // namespace refsim
+} // namespace sparseloop

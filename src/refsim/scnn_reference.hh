@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A statistical reference model of SCNN (Parashar et al., ISCA'17)
+ * in the style of the authors' analytical simulator: the validation
+ * baseline for Fig. 11. Runtime activities (storage accesses and
+ * computes per component) are derived in closed form from the layer
+ * shape and uniform densities — completely independently of
+ * Sparseloop's machinery — so agreement between the two is a real
+ * cross-check.
+ *
+ * SCNN dataflow (PT-IS-CP): both weights and input activations are
+ * compressed; the cartesian product of nonzero inputs and nonzero
+ * weights is computed (Skip W <- I, Skip O <- I & W), and output
+ * partial sums are scattered into an accumulator array.
+ */
+
+#ifndef SPARSELOOP_REFSIM_SCNN_REFERENCE_HH
+#define SPARSELOOP_REFSIM_SCNN_REFERENCE_HH
+
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace refsim {
+
+/** Runtime activities of the SCNN components for one layer. */
+struct ScnnActivities
+{
+    double macs = 0.0;            ///< effectual multiplies
+    double weight_buffer_reads = 0.0;
+    double input_buffer_reads = 0.0;
+    double accumulator_updates = 0.0;
+    double output_writes = 0.0;   ///< final outputs drained
+    double dram_weight_reads = 0.0;
+    double dram_input_reads = 0.0;
+};
+
+/**
+ * Closed-form SCNN activity model for a CONV layer.
+ *
+ * @param tile_p, tile_q planar tile extents per PE: the PT-IS dataflow
+ *        splits the output plane across PEs, and each PE receives its
+ *        input tile including the (R-1)/(S-1) halo, so DRAM input
+ *        traffic includes the halo multicast overhead. Pass 0 to treat
+ *        the plane as a single tile (no halo).
+ */
+ScnnActivities scnnReferenceActivities(const ConvLayerShape &shape,
+                                       std::int64_t tile_p = 0,
+                                       std::int64_t tile_q = 0);
+
+} // namespace refsim
+} // namespace sparseloop
+
+#endif // SPARSELOOP_REFSIM_SCNN_REFERENCE_HH

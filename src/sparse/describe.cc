@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Taxonomy renderer implementation.
+ */
+
+#include "sparse/describe.hh"
+
+#include <sstream>
+
+namespace sparseloop {
+
+std::string
+describe(const IntersectionSaf &saf, const Workload &workload,
+         const Architecture &arch)
+{
+    std::ostringstream oss;
+    oss << toString(saf.kind) << " "
+        << workload.tensor(saf.target).name << " <- ";
+    for (std::size_t i = 0; i < saf.leaders.size(); ++i) {
+        if (i) {
+            oss << " & ";
+        }
+        oss << workload.tensor(saf.leaders[i]).name;
+    }
+    oss << " @" << arch.level(saf.level).name;
+    return oss.str();
+}
+
+std::string
+describe(const SafSpec &safs, const Workload &workload,
+         const Architecture &arch)
+{
+    std::ostringstream oss;
+    if (!safs.formats.empty()) {
+        oss << "formats:\n";
+        for (const auto &f : safs.formats) {
+            oss << "  " << workload.tensor(f.tensor).name << ": "
+                << f.format.name() << " @" << arch.level(f.level).name
+                << "\n";
+        }
+    }
+    if (!safs.intersections.empty()) {
+        oss << "gating/skipping:\n";
+        for (const auto &saf : safs.intersections) {
+            oss << "  " << describe(saf, workload, arch) << "\n";
+        }
+    }
+    if (!safs.compute.empty()) {
+        oss << "compute: " << toString(safs.compute.front().kind)
+            << " Compute\n";
+    }
+    if (safs.formats.empty() && safs.intersections.empty() &&
+        safs.compute.empty()) {
+        oss << "(no SAFs: dense design)\n";
+    }
+    return oss.str();
+}
+
+} // namespace sparseloop

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Taxonomy renderer (Sec. 3.3 / Table 3): print a design's SAFs in the
+ * paper's systematic notation, e.g.
+ *   "format: I: B-RLE @DRAM, I: UB @GlobalBuffer;
+ *    Gate W<-I @RegFile, Gate O<-I @RegFile; Gate Compute"
+ * so any design expressed in the unified taxonomy can be compared
+ * qualitatively at a glance.
+ */
+
+#ifndef SPARSELOOP_SPARSE_DESCRIBE_HH
+#define SPARSELOOP_SPARSE_DESCRIBE_HH
+
+#include <string>
+
+#include "arch/architecture.hh"
+#include "sparse/saf.hh"
+#include "workload/workload.hh"
+
+namespace sparseloop {
+
+/** One-line description of a single gating/skipping SAF. */
+std::string describe(const IntersectionSaf &saf,
+                     const Workload &workload,
+                     const Architecture &arch);
+
+/** Multi-line Table 3-style description of a full SAF specification. */
+std::string describe(const SafSpec &safs, const Workload &workload,
+                     const Architecture &arch);
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_SPARSE_DESCRIBE_HH

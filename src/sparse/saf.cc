@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SAF specification implementation.
+ */
+
+#include "sparse/saf.hh"
+
+#include "common/logging.hh"
+
+namespace sparseloop {
+
+std::string
+toString(SafKind kind)
+{
+    return kind == SafKind::Gate ? "Gate" : "Skip";
+}
+
+SafSpec &
+SafSpec::addFormat(int level, int tensor, TensorFormat format)
+{
+    formats.push_back({level, tensor, std::move(format)});
+    return *this;
+}
+
+SafSpec &
+SafSpec::addSkip(int level, int target, std::vector<int> leaders)
+{
+    intersections.push_back(
+        {SafKind::Skip, level, target, std::move(leaders)});
+    return *this;
+}
+
+SafSpec &
+SafSpec::addGate(int level, int target, std::vector<int> leaders)
+{
+    intersections.push_back(
+        {SafKind::Gate, level, target, std::move(leaders)});
+    return *this;
+}
+
+SafSpec &
+SafSpec::addDoubleSided(SafKind kind, int level, int t0, int t1)
+{
+    intersections.push_back({kind, level, t0, {t1}});
+    intersections.push_back({kind, level, t1, {t0}});
+    return *this;
+}
+
+SafSpec &
+SafSpec::addComputeSaf(SafKind kind)
+{
+    if (!compute.empty()) {
+        SL_FATAL("only one compute SAF may be specified");
+    }
+    compute.push_back({kind});
+    return *this;
+}
+
+const TensorFormat *
+SafSpec::formatAt(int level, int tensor) const
+{
+    for (const auto &f : formats) {
+        if (f.level == level && f.tensor == tensor) {
+            return &f.format;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace sparseloop

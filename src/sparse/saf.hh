@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sparse Acceleration Feature (SAF) specifications (Sec. 3).
+ *
+ * The taxonomy classifies sparsity-aware acceleration techniques into
+ * three orthogonal features:
+ *  - representation format: how a tensor's nonzero locations are
+ *    encoded at a storage level (FormatSaf);
+ *  - gating: letting storage/compute stay idle on ineffectual
+ *    operations, saving energy but not time;
+ *  - skipping: not spending cycles on ineffectual operations, saving
+ *    both energy and time.
+ * Gating/skipping at storage is driven by leader-follower or
+ * double-sided intersections (IntersectionSaf); a double-sided
+ * intersection A <-> B is modeled as the pair A <- B plus B <- A.
+ */
+
+#ifndef SPARSELOOP_SPARSE_SAF_HH
+#define SPARSELOOP_SPARSE_SAF_HH
+
+#include <string>
+#include <vector>
+
+#include "format/tensor_format.hh"
+
+namespace sparseloop {
+
+/** Gating saves energy only; skipping saves energy and time. */
+enum class SafKind
+{
+    Gate,
+    Skip,
+};
+
+std::string toString(SafKind kind);
+
+/** A tensor stored in a (possibly compressed) format at one level. */
+struct FormatSaf
+{
+    int level = 0;   ///< storage level index
+    int tensor = 0;  ///< tensor index in the workload
+    TensorFormat format;
+};
+
+/**
+ * A gating or skipping SAF applied to the reads/updates of a follower
+ * tensor at a storage level, conditioned on one or more leader tensors
+ * (Sec. 3.1.2 / 3.1.3). E.g. "Skip B <- A at Buffer" is
+ * {kind=Skip, level=buffer, target=B, leaders={A}}.
+ */
+struct IntersectionSaf
+{
+    SafKind kind = SafKind::Skip;
+    int level = 0;            ///< storage level where applied
+    int target = 0;           ///< follower tensor
+    std::vector<int> leaders; ///< condition tensors
+};
+
+/**
+ * A gating or skipping SAF applied to the compute units: remaining
+ * ineffectual computes (not already eliminated by storage SAFs) are
+ * gated or skipped.
+ */
+struct ComputeSaf
+{
+    SafKind kind = SafKind::Gate;
+};
+
+/** The full SAF specification of a design. */
+struct SafSpec
+{
+    std::vector<FormatSaf> formats;
+    std::vector<IntersectionSaf> intersections;
+    /** At most one compute SAF; empty vector means none. */
+    std::vector<ComputeSaf> compute;
+
+    /** @name Fluent builder helpers. */
+    /// @{
+    SafSpec &addFormat(int level, int tensor, TensorFormat format);
+    SafSpec &addSkip(int level, int target,
+                     std::vector<int> leaders);
+    SafSpec &addGate(int level, int target,
+                     std::vector<int> leaders);
+    /** Double-sided intersection: adds both leader-follower pairs. */
+    SafSpec &addDoubleSided(SafKind kind, int level, int t0, int t1);
+    SafSpec &addComputeSaf(SafKind kind);
+    /// @}
+
+    /** The format bound to (level, tensor), or null. */
+    const TensorFormat *formatAt(int level, int tensor) const;
+};
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_SPARSE_SAF_HH

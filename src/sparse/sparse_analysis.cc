@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Sparse modeling step implementation.
+ */
+
+#include "sparse/sparse_analysis.hh"
+
+#include <algorithm>
+
+#include <random>
+
+#include "common/logging.hh"
+#include "density/actual_data.hh"
+#include "density/hypergeometric.hh"
+
+namespace sparseloop {
+
+SparseAnalysis::SparseAnalysis(const Workload &workload,
+                               const Architecture &arch,
+                               const Mapping &mapping,
+                               const SafSpec &safs)
+    : workload_(workload), arch_(arch), mapping_(mapping), safs_(safs),
+      nest_(workload, arch, mapping)
+{
+    for (const auto &saf : safs_.intersections) {
+        if (saf.target < 0 || saf.target >= workload_.tensorCount()) {
+            SL_FATAL("intersection SAF targets unknown tensor ",
+                     saf.target);
+        }
+        if (saf.level < 0 || saf.level >= arch_.levelCount()) {
+            SL_FATAL("intersection SAF at unknown level ", saf.level);
+        }
+        if (saf.leaders.empty()) {
+            SL_FATAL("intersection SAF needs at least one leader");
+        }
+    }
+    for (const auto &f : safs_.formats) {
+        if (f.tensor < 0 || f.tensor >= workload_.tensorCount() ||
+            f.level < 0 || f.level >= arch_.levelCount()) {
+            SL_FATAL("format SAF references unknown tensor or level");
+        }
+    }
+}
+
+double
+SparseAnalysis::density(int t) const
+{
+    return workload_.tensor(t).densityValue();
+}
+
+int
+SparseAnalysis::safBoundary(const IntersectionSaf &saf) const
+{
+    auto keeps = nest_.keepLevels(saf.target);
+    for (int k : keeps) {
+        if (k > saf.level) {
+            return k;
+        }
+    }
+    return mapping_.levelCount();
+}
+
+std::vector<std::int64_t>
+SparseAnalysis::leaderRegionDimTiles(const IntersectionSaf &saf) const
+{
+    int b = safBoundary(saf);
+    std::vector<std::int64_t> dim_tiles;
+    if (b < mapping_.levelCount()) {
+        dim_tiles = mapping_.dimTilesAtLevel(workload_, b);
+    } else {
+        dim_tiles.assign(workload_.dimCount(), 1);
+    }
+    // Extend by the follower datum's reuse region: the maximal
+    // innermost run of loops irrelevant to the follower above the
+    // delivery boundary (Fig. 10).
+    bool stopped = false;
+    for (int l = std::min(b, mapping_.levelCount()); l-- > 0 && !stopped;) {
+        const auto &loops = mapping_.level(l).loops;
+        for (std::size_t i = loops.size(); i-- > 0;) {
+            const Loop &loop = loops[i];
+            if (loop.bound == 1) {
+                continue;  // transparent: never advances anything
+            }
+            if (workload_.dimRelevant(saf.target, loop.dim)) {
+                stopped = true;
+                break;
+            }
+            dim_tiles[loop.dim] *= loop.bound;
+        }
+    }
+    return dim_tiles;
+}
+
+double
+SparseAnalysis::eliminationProbability(const IntersectionSaf &saf) const
+{
+    auto dim_tiles = leaderRegionDimTiles(saf);
+    double p_keep = 1.0;
+    for (int leader : saf.leaders) {
+        const auto &ds = workload_.tensor(leader);
+        if (!ds.density) {
+            // Dense leader tiles are never empty.
+            continue;
+        }
+        Shape extents = workload_.tensorTileExtents(leader, dim_tiles);
+        double p_empty = ds.density->probEmptyShaped(extents);
+        p_keep *= (1.0 - p_empty);
+    }
+    return 1.0 - p_keep;
+}
+
+ActionBreakdown
+SparseAnalysis::filterByIntersections(int t, int boundary,
+                                      double base) const
+{
+    // Gather applicable SAFs outer-first so eliminations compose the
+    // way propagation does (Sec. 5.3.4).
+    std::vector<const IntersectionSaf *> applicable;
+    for (const auto &saf : safs_.intersections) {
+        if (saf.target == t && saf.level < boundary) {
+            applicable.push_back(&saf);
+        }
+    }
+    std::sort(applicable.begin(), applicable.end(),
+              [](const IntersectionSaf *a, const IntersectionSaf *b) {
+                  return a->level < b->level;
+              });
+    ActionBreakdown out;
+    double remaining = base;
+    for (const auto *saf : applicable) {
+        double p = eliminationProbability(*saf);
+        double elim = remaining * p;
+        if (saf->kind == SafKind::Skip) {
+            out.skipped += elim;
+        } else {
+            out.gated += elim;
+        }
+        remaining -= elim;
+    }
+    out.actual = remaining;
+    return out;
+}
+
+double
+SparseAnalysis::effectualFraction() const
+{
+    const int T = workload_.tensorCount();
+    // Statistical default: independent operands.
+    double marginal = 1.0;
+    std::vector<const ActualDataDensity *> actual(T, nullptr);
+    bool all_actual = true;
+    bool any_sparse = false;
+    for (int t = 0; t < T; ++t) {
+        const auto &ds = workload_.tensor(t);
+        if (ds.is_output) {
+            continue;
+        }
+        marginal *= density(t);
+        if (!ds.density) {
+            continue;  // dense operand: always nonzero
+        }
+        any_sparse = true;
+        actual[t] =
+            dynamic_cast<const ActualDataDensity *>(ds.density.get());
+        if (!actual[t]) {
+            all_actual = false;
+        }
+    }
+    if (!any_sparse || !all_actual) {
+        return marginal;
+    }
+    // Joint intersection from the concrete tensors: exact enumeration
+    // of the iteration space when affordable, seeded sampling above.
+    std::int64_t total = workload_.denseComputeCount();
+    constexpr std::int64_t kEnumerateLimit = 1 << 22;
+    constexpr std::int64_t kSamples = 1 << 15;
+    auto effectualAt = [&](const Point &p) {
+        for (int t = 0; t < T; ++t) {
+            if (workload_.tensor(t).is_output ||
+                !workload_.tensor(t).density) {
+                continue;
+            }
+            Point q = workload_.project(t, p);
+            if (!actual[t]->data().isNonzero(q)) {
+                return false;
+            }
+        }
+        return true;
+    };
+    std::int64_t hits = 0;
+    if (total <= kEnumerateLimit) {
+        Shape bounds(workload_.dimCount());
+        for (int d = 0; d < workload_.dimCount(); ++d) {
+            bounds[d] = workload_.dims()[d].bound;
+        }
+        for (std::int64_t i = 0; i < total; ++i) {
+            if (effectualAt(unflatten(i, bounds))) {
+                ++hits;
+            }
+        }
+        return static_cast<double>(hits) / static_cast<double>(total);
+    }
+    std::mt19937_64 rng(0x5EED5EED);
+    Point p(workload_.dimCount());
+    for (std::int64_t s = 0; s < kSamples; ++s) {
+        for (int d = 0; d < workload_.dimCount(); ++d) {
+            std::uniform_int_distribution<std::int64_t> pick(
+                0, workload_.dims()[d].bound - 1);
+            p[d] = pick(rng);
+        }
+        if (effectualAt(p)) {
+            ++hits;
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(kSamples);
+}
+
+SparseTraffic
+SparseAnalysis::analyze(const DenseTraffic &dense) const
+{
+    const int S = mapping_.levelCount();
+    const int T = workload_.tensorCount();
+
+    SparseTraffic out;
+    out.levels.assign(S, std::vector<TensorLevelSparse>(T));
+    out.instances = dense.instances;
+    out.compute_instances = dense.compute_instances;
+
+    // ---- Compute action breakdown -------------------------------------
+    double effectual_frac = effectualFraction();
+    double remaining = 1.0;
+    double comp_skipped = 0.0;
+    double comp_gated = 0.0;
+    {
+        std::vector<const IntersectionSaf *> all;
+        for (const auto &saf : safs_.intersections) {
+            all.push_back(&saf);
+        }
+        std::sort(all.begin(), all.end(),
+                  [](const IntersectionSaf *a, const IntersectionSaf *b) {
+                      return a->level < b->level;
+                  });
+        for (const auto *saf : all) {
+            double p = eliminationProbability(*saf);
+            double elim = remaining * p;
+            if (saf->kind == SafKind::Skip) {
+                comp_skipped += elim;
+            } else {
+                comp_gated += elim;
+            }
+            remaining -= elim;
+        }
+        // Eliminations can only remove ineffectual computes: clamp and
+        // hand back any over-elimination proportionally.
+        if (remaining < effectual_frac) {
+            double excess = effectual_frac - remaining;
+            double elim_total = comp_skipped + comp_gated;
+            if (elim_total > 0.0) {
+                comp_skipped -= excess * comp_skipped / elim_total;
+                comp_gated -= excess * comp_gated / elim_total;
+            }
+            remaining = effectual_frac;
+        }
+        // Remaining ineffectual computes go to the compute SAF.
+        double ineff = std::max(0.0, remaining - effectual_frac);
+        if (!safs_.compute.empty() && ineff > 0.0) {
+            if (safs_.compute.front().kind == SafKind::Skip) {
+                comp_skipped += ineff;
+            } else {
+                comp_gated += ineff;
+            }
+            remaining -= ineff;
+        }
+    }
+    out.computes.actual = dense.computes * remaining;
+    out.computes.gated = dense.computes * comp_gated;
+    out.computes.skipped = dense.computes * comp_skipped;
+    out.effectual_computes = dense.computes * effectual_frac;
+
+    double compute_total_frac = remaining + comp_gated + comp_skipped;
+    double compute_actual_frac =
+        compute_total_frac > 0.0 ? remaining / compute_total_frac : 1.0;
+    (void)compute_actual_frac;
+
+    // ---- Per-level traffic --------------------------------------------
+    for (int l = 0; l < S; ++l) {
+        for (int t = 0; t < T; ++t) {
+            const auto &d = dense.at(l, t);
+            auto &s = out.levels[l][t];
+            s.tile_dense_words = d.footprint;
+
+            const TensorFormat *fmt = safs_.formatAt(l, t);
+            double data_ratio = 1.0;  // stored words per dense element
+            double meta_ratio = 0.0;  // metadata words per dense element
+            if (fmt) {
+                DensityModelPtr model = workload_.tensor(t).density;
+                if (!model) {
+                    model = makeUniformDensity(
+                        workload_.tensorVolume(t), 1.0);
+                }
+                auto extents = fmt->flattenExtents(d.tile_extents);
+                auto stats = fmt->tileStats(*model, extents,
+                                            OccupancyEstimate::Expected);
+                auto worst = fmt->tileStats(*model, extents,
+                                            OccupancyEstimate::WorstCase);
+                int wb = arch_.level(l).word_bits;
+                if (d.kept) {
+                    s.tile_data_words = stats.data_words;
+                    s.tile_metadata_words = stats.metadataWords(wb);
+                    s.tile_worst_words =
+                        worst.data_words + worst.metadataWords(wb);
+                }
+                if (stats.dense_words > 0) {
+                    data_ratio = stats.data_words /
+                        static_cast<double>(stats.dense_words);
+                    meta_ratio = stats.metadataWords(wb) /
+                        static_cast<double>(stats.dense_words);
+                }
+            } else if (d.kept) {
+                s.tile_data_words = d.footprint;
+                s.tile_worst_words = d.footprint;
+            }
+
+            const bool is_output = workload_.tensor(t).is_output;
+            if (!is_output) {
+                // Reads out of this level cross boundary l+1 and
+                // beyond; fills arrived across boundary l.
+                s.reads = filterByIntersections(
+                    t, l + 1, d.reads * data_ratio);
+                s.fills = filterByIntersections(
+                    t, l, d.fills * data_ratio);
+                double read_actual_frac = s.reads.total() > 0.0
+                    ? s.reads.actual / s.reads.total() : 1.0;
+                double fill_actual_frac = s.fills.total() > 0.0
+                    ? s.fills.actual / s.fills.total() : 1.0;
+                s.meta_reads = d.reads * meta_ratio * read_actual_frac;
+                s.meta_fills = d.fills * meta_ratio * fill_actual_frac;
+            } else {
+                // Output updates at the innermost keeping level follow
+                // the compute breakdown; other levels keep their dense
+                // flow (zeros still drain upward) modulo level-local
+                // SAFs and compression.
+                int inner_keep = nest_.innermostKeepLevel(t);
+                if (l == inner_keep && compute_total_frac > 0.0) {
+                    double total = d.updates * data_ratio;
+                    s.updates.actual =
+                        total * remaining / compute_total_frac;
+                    s.updates.gated =
+                        total * comp_gated / compute_total_frac;
+                    s.updates.skipped =
+                        total * comp_skipped / compute_total_frac;
+                } else {
+                    s.updates = filterByIntersections(
+                        t, l + 1, d.updates * data_ratio);
+                }
+                // Accumulation reads mirror the updates' breakdown:
+                // a gated update still spends the read-modify-write
+                // cycle, a skipped one does not.
+                double upd_total = s.updates.total();
+                double acc_total = d.acc_reads * data_ratio;
+                if (upd_total > 0.0) {
+                    s.acc_reads.actual =
+                        acc_total * s.updates.actual / upd_total;
+                    s.acc_reads.gated =
+                        acc_total * s.updates.gated / upd_total;
+                    s.acc_reads.skipped =
+                        acc_total * s.updates.skipped / upd_total;
+                } else {
+                    s.acc_reads.actual = acc_total;
+                }
+                double actual_frac = upd_total > 0.0
+                    ? s.updates.actual / upd_total : 1.0;
+                s.drains = filterByIntersections(
+                    t, l + 1, d.drains * data_ratio);
+                s.meta_updates = d.updates * meta_ratio * actual_frac;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace sparseloop

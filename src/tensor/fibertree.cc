@@ -1,0 +1,167 @@
+/**
+ * @file
+ * FiberTree implementation.
+ */
+
+#include "tensor/fibertree.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sparseloop {
+
+double
+RankStats::meanOccupancy() const
+{
+    if (fiber_count == 0) {
+        return 0.0;
+    }
+    double total = 0.0;
+    for (const auto &kv : occupancy_histogram) {
+        total += static_cast<double>(kv.first) *
+                 static_cast<double>(kv.second);
+    }
+    return total / static_cast<double>(fiber_count);
+}
+
+std::int64_t
+RankStats::maxOccupancy() const
+{
+    if (occupancy_histogram.empty()) {
+        return 0;
+    }
+    return occupancy_histogram.rbegin()->first;
+}
+
+namespace {
+
+/**
+ * Recursively build a fiber from a sorted list of (reordered point,
+ * value) pairs that all share the same coordinate prefix above @p level.
+ */
+std::unique_ptr<Fiber>
+buildFiber(const std::vector<std::pair<Point, double>> &entries,
+           std::size_t begin, std::size_t end, std::size_t level,
+           std::size_t rank_count)
+{
+    auto fiber = std::make_unique<Fiber>();
+    std::size_t i = begin;
+    while (i < end) {
+        std::int64_t coord = entries[i].first[level];
+        std::size_t j = i;
+        while (j < end && entries[j].first[level] == coord) {
+            ++j;
+        }
+        fiber->coords.push_back(coord);
+        if (level + 1 == rank_count) {
+            SL_ASSERT(j == i + 1, "duplicate leaf coordinate");
+            fiber->values.push_back(entries[i].second);
+        } else {
+            fiber->children.push_back(
+                buildFiber(entries, i, j, level + 1, rank_count));
+        }
+        i = j;
+    }
+    return fiber;
+}
+
+} // namespace
+
+FiberTree::FiberTree(const SparseTensor &tensor,
+                     std::vector<int> rank_order,
+                     std::vector<std::string> rank_names)
+    : rank_order_(std::move(rank_order)),
+      rank_names_(std::move(rank_names))
+{
+    SL_ASSERT(static_cast<std::int64_t>(rank_order_.size()) ==
+              tensor.rankCount(), "rank order size mismatch");
+    if (rank_names_.empty()) {
+        for (std::size_t i = 0; i < rank_order_.size(); ++i) {
+            rank_names_.push_back("rank" + std::to_string(i));
+        }
+    }
+    reordered_shape_.resize(rank_order_.size());
+    for (std::size_t i = 0; i < rank_order_.size(); ++i) {
+        reordered_shape_[i] = tensor.shape()[rank_order_[i]];
+    }
+
+    std::vector<std::pair<Point, double>> entries;
+    for (const auto &p : tensor.sortedNonzeroPoints()) {
+        Point rp(p.size());
+        for (std::size_t i = 0; i < rank_order_.size(); ++i) {
+            rp[i] = p[rank_order_[i]];
+        }
+        entries.emplace_back(std::move(rp), tensor.at(p));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    root_ = buildFiber(entries, 0, entries.size(), 0,
+                       rank_order_.size());
+}
+
+void
+FiberTree::collect(const Fiber &fiber, int level, RankStats &stats) const
+{
+    if (level == 0) {
+        stats.fiber_count += 1;
+        stats.occupancy_histogram[fiber.occupancy()] += 1;
+        return;
+    }
+    for (const auto &child : fiber.children) {
+        collect(*child, level - 1, stats);
+    }
+}
+
+RankStats
+FiberTree::rankStats(int level) const
+{
+    SL_ASSERT(level >= 0 && level < rankCount(), "rank level out of range");
+    RankStats stats;
+    stats.rank_name = rank_names_[level];
+    stats.fiber_shape = reordered_shape_[level];
+    collect(*root_, level, stats);
+    return stats;
+}
+
+std::int64_t
+FiberTree::leafCount() const
+{
+    // Count recursively through the lowest rank.
+    std::int64_t count = 0;
+    std::vector<const Fiber *> stack{root_.get()};
+    while (!stack.empty()) {
+        const Fiber *f = stack.back();
+        stack.pop_back();
+        count += static_cast<std::int64_t>(f->values.size());
+        for (const auto &c : f->children) {
+            stack.push_back(c.get());
+        }
+    }
+    return count;
+}
+
+double
+FiberTree::at(const Point &p) const
+{
+    const Fiber *fiber = root_.get();
+    for (std::size_t level = 0; level < rank_order_.size(); ++level) {
+        std::int64_t coord = p[rank_order_[level]];
+        auto it = std::lower_bound(fiber->coords.begin(),
+                                   fiber->coords.end(), coord);
+        if (it == fiber->coords.end() || *it != coord) {
+            return 0.0;
+        }
+        std::size_t idx = static_cast<std::size_t>(
+            it - fiber->coords.begin());
+        if (level + 1 == rank_order_.size()) {
+            return fiber->values[idx];
+        }
+        fiber = fiber->children[idx].get();
+    }
+    return 0.0;
+}
+
+} // namespace sparseloop

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fibertree: the format-agnostic tensor description at the heart of the
+ * sparse modeling step (Sec. 5.3.1, Fig. 7b).
+ *
+ * Each level of the tree corresponds to a tensor rank. Each fiber holds
+ * the non-empty coordinates of one row/column/... and their payloads:
+ * either sub-fibers (intermediate ranks) or values (the lowest rank).
+ * Coordinates whose payloads are entirely zero are omitted, so the tree
+ * exactly reflects the tensor's sparsity characteristics.
+ */
+
+#ifndef SPARSELOOP_TENSOR_FIBERTREE_HH
+#define SPARSELOOP_TENSOR_FIBERTREE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/sparse_tensor.hh"
+
+namespace sparseloop {
+
+/** A single fiber: sorted (coordinate, payload) pairs at one rank. */
+struct Fiber
+{
+    /** Coordinates of non-empty elements, ascending. */
+    std::vector<std::int64_t> coords;
+    /** Sub-fibers (intermediate rank) parallel to coords; empty at rank 0. */
+    std::vector<std::unique_ptr<Fiber>> children;
+    /** Values (lowest rank only) parallel to coords. */
+    std::vector<double> values;
+
+    std::int64_t occupancy() const
+    {
+        return static_cast<std::int64_t>(coords.size());
+    }
+    bool empty() const { return coords.empty(); }
+};
+
+/** Aggregate statistics over all fibers at one rank of the tree. */
+struct RankStats
+{
+    std::string rank_name;
+    /** Shape (number of possible coordinates) of fibers at this rank. */
+    std::int64_t fiber_shape = 0;
+    /** Fibers actually present in the tree (non-empty parents only). */
+    std::int64_t fiber_count = 0;
+    /** Histogram: occupancy -> number of fibers with that occupancy. */
+    std::map<std::int64_t, std::int64_t> occupancy_histogram;
+    /** Mean occupancy over present fibers. */
+    double meanOccupancy() const;
+    /** Max occupancy over present fibers. */
+    std::int64_t maxOccupancy() const;
+};
+
+/**
+ * A fibertree built from actual data with a caller-chosen rank order.
+ *
+ * @note rank 0 of @p rank_order is the *top* (outermost) level of the
+ *       tree; the last entry is the lowest rank whose payloads are the
+ *       data values.
+ */
+class FiberTree
+{
+  public:
+    /**
+     * Build the tree from a sparse tensor.
+     *
+     * @param tensor source data.
+     * @param rank_order permutation of tensor rank indices, top first.
+     * @param rank_names optional display names (defaults to "rankN").
+     */
+    FiberTree(const SparseTensor &tensor,
+              std::vector<int> rank_order,
+              std::vector<std::string> rank_names = {});
+
+    const Fiber &root() const { return *root_; }
+    std::int64_t rankCount() const
+    {
+        return static_cast<std::int64_t>(rank_order_.size());
+    }
+
+    /** Statistics for the fibers of one tree level (0 = top). */
+    RankStats rankStats(int level) const;
+
+    /** Total number of leaf values (== tensor nonzero count). */
+    std::int64_t leafCount() const;
+
+    /** Reconstruct the value at a coordinate (zero when pruned). */
+    double at(const Point &p) const;
+
+  private:
+    std::vector<int> rank_order_;
+    std::vector<std::string> rank_names_;
+    Shape reordered_shape_;
+    std::unique_ptr<Fiber> root_;
+
+    void collect(const Fiber &fiber, int level,
+                 RankStats &stats) const;
+};
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_TENSOR_FIBERTREE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Coordinate and shape primitives shared by the tensor substrate.
+ */
+
+#ifndef SPARSELOOP_TENSOR_POINT_HH
+#define SPARSELOOP_TENSOR_POINT_HH
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace sparseloop {
+
+/** A multi-dimensional coordinate (one entry per tensor rank). */
+using Point = std::vector<std::int64_t>;
+
+/** Per-rank extents of a tensor or tile. */
+using Shape = std::vector<std::int64_t>;
+
+/** Total number of elements covered by a shape. */
+inline std::int64_t
+volume(const Shape &shape)
+{
+    std::int64_t v = 1;
+    for (auto e : shape) {
+        v *= e;
+    }
+    return v;
+}
+
+/** Row-major flattening of a point within a shape. */
+inline std::int64_t
+flatten(const Point &p, const Shape &shape)
+{
+    std::int64_t idx = 0;
+    for (std::size_t r = 0; r < shape.size(); ++r) {
+        idx = idx * shape[r] + p[r];
+    }
+    return idx;
+}
+
+/** Inverse of flatten(). */
+inline Point
+unflatten(std::int64_t idx, const Shape &shape)
+{
+    Point p(shape.size(), 0);
+    for (std::size_t r = shape.size(); r-- > 0;) {
+        p[r] = idx % shape[r];
+        idx /= shape[r];
+    }
+    return p;
+}
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_TENSOR_POINT_HH

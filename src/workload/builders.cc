@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Workload factory implementations.
+ */
+
+#include "workload/builders.hh"
+
+#include "density/hypergeometric.hh"
+
+namespace sparseloop {
+
+Workload
+makeMatmul(std::int64_t m, std::int64_t k, std::int64_t n)
+{
+    std::vector<WorkloadDim> dims{{"M", m}, {"K", k}, {"N", n}};
+    // Dimension indices: M=0, K=1, N=2.
+    DataSpace a;
+    a.name = "A";
+    a.projection = {{{0, 1}}, {{1, 1}}};
+    DataSpace b;
+    b.name = "B";
+    b.projection = {{{1, 1}}, {{2, 1}}};
+    DataSpace z;
+    z.name = "Z";
+    z.projection = {{{0, 1}}, {{2, 1}}};
+    z.is_output = true;
+    return Workload("matmul", std::move(dims), {a, b, z});
+}
+
+Workload
+makeConv(const ConvLayerShape &s)
+{
+    std::vector<WorkloadDim> dims{{"N", s.n}, {"K", s.k}, {"C", s.c},
+                                  {"P", s.p}, {"Q", s.q}, {"R", s.r},
+                                  {"S", s.s}};
+    // Dimension indices: N=0, K=1, C=2, P=3, Q=4, R=5, S=6.
+    DataSpace in;
+    in.name = "Inputs";
+    in.projection = {{{0, 1}},
+                     {{2, 1}},
+                     {{3, s.stride}, {5, 1}},
+                     {{4, s.stride}, {6, 1}}};
+    DataSpace w;
+    w.name = "Weights";
+    w.projection = {{{1, 1}}, {{2, 1}}, {{5, 1}}, {{6, 1}}};
+    DataSpace out;
+    out.name = "Outputs";
+    out.projection = {{{0, 1}}, {{1, 1}}, {{3, 1}}, {{4, 1}}};
+    out.is_output = true;
+    Workload workload(s.name.empty() ? "conv" : s.name, std::move(dims),
+                      {in, w, out});
+    if (s.input_density < 1.0) {
+        workload.setDensity("Inputs",
+            makeUniformDensity(workload.tensorVolume(0),
+                               s.input_density));
+    }
+    if (s.weight_density < 1.0) {
+        workload.setDensity("Weights",
+            makeUniformDensity(workload.tensorVolume(1),
+                               s.weight_density));
+    }
+    return workload;
+}
+
+Workload
+makeDepthwiseConv(const ConvLayerShape &s)
+{
+    std::vector<WorkloadDim> dims{{"N", s.n}, {"C", s.c}, {"P", s.p},
+                                  {"Q", s.q}, {"R", s.r}, {"S", s.s}};
+    // Dimension indices: N=0, C=1, P=2, Q=3, R=4, S=5.
+    DataSpace in;
+    in.name = "Inputs";
+    in.projection = {{{0, 1}},
+                     {{1, 1}},
+                     {{2, s.stride}, {4, 1}},
+                     {{3, s.stride}, {5, 1}}};
+    DataSpace w;
+    w.name = "Weights";
+    w.projection = {{{1, 1}}, {{4, 1}}, {{5, 1}}};
+    DataSpace out;
+    out.name = "Outputs";
+    out.projection = {{{0, 1}}, {{1, 1}}, {{2, 1}}, {{3, 1}}};
+    out.is_output = true;
+    Workload workload(s.name.empty() ? "dwconv" : s.name,
+                      std::move(dims), {in, w, out});
+    if (s.input_density < 1.0) {
+        workload.setDensity("Inputs",
+            makeUniformDensity(workload.tensorVolume(0),
+                               s.input_density));
+    }
+    if (s.weight_density < 1.0) {
+        workload.setDensity("Weights",
+            makeUniformDensity(workload.tensorVolume(1),
+                               s.weight_density));
+    }
+    return workload;
+}
+
+Workload
+makeGemv(std::int64_t m, std::int64_t k)
+{
+    std::vector<WorkloadDim> dims{{"M", m}, {"K", k}};
+    DataSpace a;
+    a.name = "A";
+    a.projection = {{{0, 1}}, {{1, 1}}};
+    DataSpace x;
+    x.name = "x";
+    x.projection = {{{1, 1}}};
+    DataSpace z;
+    z.name = "Z";
+    z.projection = {{{0, 1}}};
+    z.is_output = true;
+    return Workload("gemv", std::move(dims), {a, x, z});
+}
+
+Workload
+makeSddmm(std::int64_t m, std::int64_t k, std::int64_t n)
+{
+    std::vector<WorkloadDim> dims{{"M", m}, {"K", k}, {"N", n}};
+    DataSpace s;
+    s.name = "S";
+    s.projection = {{{0, 1}}, {{2, 1}}};
+    DataSpace a;
+    a.name = "A";
+    a.projection = {{{0, 1}}, {{1, 1}}};
+    DataSpace b;
+    b.name = "B";
+    b.projection = {{{1, 1}}, {{2, 1}}};
+    DataSpace z;
+    z.name = "Z";
+    z.projection = {{{0, 1}}, {{2, 1}}};
+    z.is_output = true;
+    return Workload("sddmm", std::move(dims), {s, a, b, z});
+}
+
+Workload
+makeMttkrp(std::int64_t i, std::int64_t j, std::int64_t k,
+           std::int64_t r)
+{
+    std::vector<WorkloadDim> dims{{"I", i}, {"J", j}, {"K", k},
+                                  {"R", r}};
+    DataSpace t;
+    t.name = "T";
+    t.projection = {{{0, 1}}, {{1, 1}}, {{2, 1}}};
+    DataSpace b;
+    b.name = "B";
+    b.projection = {{{1, 1}}, {{3, 1}}};
+    DataSpace c;
+    c.name = "C";
+    c.projection = {{{2, 1}}, {{3, 1}}};
+    DataSpace z;
+    z.name = "Z";
+    z.projection = {{{0, 1}}, {{3, 1}}};
+    z.is_output = true;
+    return Workload("mttkrp", std::move(dims), {t, b, c, z});
+}
+
+void
+bindUniformDensities(Workload &workload,
+                     const std::vector<std::pair<std::string, double>>
+                         &densities)
+{
+    for (const auto &[name, d] : densities) {
+        int t = workload.tensorIndex(name);
+        workload.setDensity(t,
+            makeUniformDensity(workload.tensorVolume(t), d));
+    }
+}
+
+} // namespace sparseloop

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Factory helpers for the Einsum kernels used throughout the paper:
+ * (sparse) matrix multiplication, dense/sparse CONV layers (7D), and
+ * depthwise convolution.
+ */
+
+#ifndef SPARSELOOP_WORKLOAD_BUILDERS_HH
+#define SPARSELOOP_WORKLOAD_BUILDERS_HH
+
+#include "workload/workload.hh"
+
+namespace sparseloop {
+
+/**
+ * Z[m,n] = sum_k A[m,k] * B[k,n].
+ * Dimension order: M, K, N. Tensor order: A, B, Z.
+ */
+Workload makeMatmul(std::int64_t m, std::int64_t k, std::int64_t n);
+
+/** Shape of one convolution layer. */
+struct ConvLayerShape
+{
+    std::string name;
+    std::int64_t n = 1;       ///< batch
+    std::int64_t k = 1;       ///< output channels
+    std::int64_t c = 1;       ///< input channels
+    std::int64_t p = 1;       ///< output rows
+    std::int64_t q = 1;       ///< output cols
+    std::int64_t r = 1;       ///< filter rows
+    std::int64_t s = 1;       ///< filter cols
+    std::int64_t stride = 1;  ///< spatial stride
+    /** Typical densities used by sparse experiments. */
+    double weight_density = 1.0;
+    double input_density = 1.0;
+
+    std::int64_t macs() const { return n * k * c * p * q * r * s; }
+};
+
+/**
+ * CONV7D: O[n,k,p,q] = sum_{c,r,s} I[n,c,p*st+r,q*st+s] * W[k,c,r,s].
+ * Dimension order: N, K, C, P, Q, R, S. Tensor order: I (Inputs),
+ * W (Weights), O (Outputs).
+ */
+Workload makeConv(const ConvLayerShape &shape);
+
+/**
+ * Depthwise CONV: O[n,c,p,q] = sum_{r,s} I[n,c,p+r,q+s] * W[c,r,s].
+ * Dimension order: N, C, P, Q, R, S.
+ */
+Workload makeDepthwiseConv(const ConvLayerShape &shape);
+
+/**
+ * Z[m] = sum_k A[m,k] * x[k] — sparse matrix-vector multiplication.
+ * Dimension order: M, K. Tensor order: A, x, Z.
+ */
+Workload makeGemv(std::int64_t m, std::int64_t k);
+
+/**
+ * SDDMM: Z[m,n] = S[m,n] * sum_k A[m,k] * B[k,n] (sampled dense-dense
+ * matrix multiplication). The sampling matrix S participates as a
+ * third (usually very sparse) operand whose zeros make whole reduction
+ * chains ineffectual. Dimension order: M, K, N. Tensors: S, A, B, Z.
+ */
+Workload makeSddmm(std::int64_t m, std::int64_t k, std::int64_t n);
+
+/**
+ * MTTKRP: Z[i,r] = sum_{j,k} T[i,j,k] * B[j,r] * C[k,r] — the
+ * matricized tensor-times-Khatri-Rao product at the heart of sparse
+ * tensor decompositions. Dimension order: I, J, K, R.
+ * Tensors: T, B, C, Z.
+ */
+Workload makeMttkrp(std::int64_t i, std::int64_t j, std::int64_t k,
+                    std::int64_t r);
+
+/**
+ * Bind uniform (hypergeometric) density models to the named tensors of
+ * a workload; convenience for sweep-style experiments.
+ */
+void bindUniformDensities(Workload &workload,
+                          const std::vector<std::pair<std::string,
+                                                      double>> &densities);
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_WORKLOAD_BUILDERS_HH

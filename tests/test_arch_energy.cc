@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the architecture specification and the Accelergy-lite
+ * energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/architecture.hh"
+#include "arch/energy_model.hh"
+#include "common/logging.hh"
+
+namespace sparseloop {
+namespace {
+
+StorageLevelSpec
+level(const std::string &name, StorageClass cls, double cap_words,
+      int word_bits = 16)
+{
+    StorageLevelSpec l;
+    l.name = name;
+    l.storage_class = cls;
+    l.capacity_words = cap_words;
+    l.word_bits = word_bits;
+    return l;
+}
+
+Architecture
+threeLevel()
+{
+    return Architecture(
+        "t",
+        {level("DRAM", StorageClass::DRAM, 1e12),
+         level("SRAM", StorageClass::SRAM, 64 * 1024),
+         level("RF", StorageClass::RegFile, 64)},
+        ComputeSpec{});
+}
+
+TEST(Architecture, LevelLookup)
+{
+    Architecture arch = threeLevel();
+    EXPECT_EQ(arch.levelCount(), 3);
+    EXPECT_EQ(arch.levelIndex("SRAM"), 1);
+    EXPECT_EQ(arch.innermost(), 2);
+    EXPECT_THROW(arch.levelIndex("L9"), FatalError);
+}
+
+TEST(Architecture, MaxComputeUnitsIsFanoutProduct)
+{
+    auto l0 = level("A", StorageClass::DRAM, 1e12);
+    l0.fanout = 4;
+    auto l1 = level("B", StorageClass::SRAM, 1024);
+    l1.fanout = 8;
+    Architecture arch("t", {l0, l1}, ComputeSpec{});
+    EXPECT_EQ(arch.maxComputeUnits(), 32);
+}
+
+TEST(Architecture, RejectsBadSpecs)
+{
+    auto bad = level("X", StorageClass::SRAM, 10);
+    bad.fanout = 0;
+    EXPECT_THROW(Architecture("t", {bad}, ComputeSpec{}), FatalError);
+    EXPECT_THROW(Architecture("t", {}, ComputeSpec{}), FatalError);
+}
+
+TEST(EnergyModel, HierarchyOrdering)
+{
+    // DRAM access must dwarf SRAM which dwarfs the register file.
+    Architecture arch = threeLevel();
+    EnergyModel e(arch);
+    double dram = e.storageEnergy(0, ActionKind::Read);
+    double sram = e.storageEnergy(1, ActionKind::Read);
+    double rf = e.storageEnergy(2, ActionKind::Read);
+    EXPECT_GT(dram, 10 * sram);
+    EXPECT_GT(sram, 5 * rf);
+}
+
+TEST(EnergyModel, SramEnergyGrowsWithCapacity)
+{
+    auto small = level("S", StorageClass::SRAM, 8 * 1024);
+    auto big = level("B", StorageClass::SRAM, 512 * 1024);
+    EXPECT_LT(EnergyModel::referenceReadEnergy(small),
+              EnergyModel::referenceReadEnergy(big));
+}
+
+TEST(EnergyModel, EnergyScalesWithWordWidth)
+{
+    // Same total bit capacity, wider port: energy scales with width.
+    auto w16 = level("A", StorageClass::SRAM, 64 * 1024, 16);
+    auto w64 = level("B", StorageClass::SRAM, 16 * 1024, 64);
+    EXPECT_NEAR(EnergyModel::referenceReadEnergy(w64),
+                4.0 * EnergyModel::referenceReadEnergy(w16), 1e-9);
+}
+
+TEST(EnergyModel, GatedActionsAreCheap)
+{
+    Architecture arch = threeLevel();
+    EnergyModel e(arch, /*gated_fraction=*/0.1);
+    EXPECT_NEAR(e.storageEnergy(1, ActionKind::GatedRead),
+                0.1 * e.storageEnergy(1, ActionKind::Read), 1e-9);
+    EXPECT_NEAR(e.computeEnergy(ActionKind::GatedCompute),
+                0.1 * e.computeEnergy(ActionKind::Compute), 1e-9);
+    EXPECT_DOUBLE_EQ(e.storageEnergy(1, ActionKind::Skipped), 0.0);
+}
+
+TEST(EnergyModel, MetadataScalesWithWordRatio)
+{
+    Architecture arch = threeLevel();
+    EnergyModel e(arch, 0.12, /*metadata_bits=*/8);
+    // 8-bit metadata on a 16-bit port: half the read energy.
+    EXPECT_NEAR(e.storageEnergy(1, ActionKind::MetadataRead),
+                0.5 * e.storageEnergy(1, ActionKind::Read), 1e-9);
+}
+
+TEST(EnergyModel, ExplicitOverridesWin)
+{
+    auto l = level("X", StorageClass::SRAM, 1024);
+    l.read_energy_pj = 42.0;
+    l.write_energy_pj = 43.0;
+    Architecture arch("t", {l}, ComputeSpec{});
+    EnergyModel e(arch);
+    EXPECT_DOUBLE_EQ(e.storageEnergy(0, ActionKind::Read), 42.0);
+    EXPECT_DOUBLE_EQ(e.storageEnergy(0, ActionKind::Write), 43.0);
+}
+
+TEST(EnergyModel, MacEnergyGrowsSuperlinearlyWithWidth)
+{
+    double e8 = EnergyModel::referenceMacEnergy(8);
+    double e16 = EnergyModel::referenceMacEnergy(16);
+    double e32 = EnergyModel::referenceMacEnergy(32);
+    EXPECT_GT(e16 / e8, 2.0);
+    EXPECT_GT(e32 / e16, 2.0);
+}
+
+TEST(EnergyModel, RejectsBadGatedFraction)
+{
+    Architecture arch = threeLevel();
+    EXPECT_THROW(EnergyModel(arch, 1.5), FatalError);
+    EXPECT_THROW(EnergyModel(arch, -0.1), FatalError);
+}
+
+} // namespace
+} // namespace sparseloop

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the cycle-level CONV simulator and its cross-validation
+ * against Sparseloop's analytical CONV predictions on actual data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/mathutil.hh"
+#include "density/actual_data.hh"
+#include "model/engine.hh"
+#include "refsim/cycle_conv.hh"
+#include "tensor/generate.hh"
+
+namespace sparseloop {
+namespace {
+
+ConvLayerShape
+smallLayer(double wd, double id)
+{
+    ConvLayerShape l;
+    l.name = "small";
+    l.k = 8;
+    l.c = 8;
+    l.p = 6;
+    l.q = 6;
+    l.r = 3;
+    l.s = 3;
+    l.weight_density = wd;
+    l.input_density = id;
+    return l;
+}
+
+TEST(CycleConv, DenseLayerCountsExact)
+{
+    ConvLayerShape l = smallLayer(1.0, 1.0);
+    auto wts = generateUniform({l.k, l.c, l.r, l.s}, 1.0, 1);
+    auto ins = generateUniform(
+        {l.c, l.p + l.r - 1, l.q + l.s - 1}, 1.0, 2);
+    refsim::CycleConvConfig cfg;
+    cfg.pe_count = 1;
+    auto stats = refsim::CycleLevelConvSim(cfg).run(l, wts, ins);
+    EXPECT_EQ(stats.macs, static_cast<std::uint64_t>(l.macs()));
+    EXPECT_EQ(stats.cycles, static_cast<std::uint64_t>(l.macs()));
+}
+
+TEST(CycleConv, PeParallelismDividesCycles)
+{
+    ConvLayerShape l = smallLayer(1.0, 1.0);
+    auto wts = generateUniform({l.k, l.c, l.r, l.s}, 1.0, 1);
+    auto ins = generateUniform(
+        {l.c, l.p + l.r - 1, l.q + l.s - 1}, 1.0, 2);
+    refsim::CycleConvConfig cfg;
+    cfg.pe_count = 8;
+    auto stats = refsim::CycleLevelConvSim(cfg).run(l, wts, ins);
+    EXPECT_EQ(stats.cycles,
+              static_cast<std::uint64_t>(l.macs() / 8));
+}
+
+TEST(CycleConv, SkippingTracksSparsity)
+{
+    ConvLayerShape l = smallLayer(0.5, 0.4);
+    auto wts = generateUniform({l.k, l.c, l.r, l.s}, 0.5, 3);
+    auto ins = generateUniform(
+        {l.c, l.p + l.r - 1, l.q + l.s - 1}, 0.4, 4);
+    refsim::CycleConvConfig cfg;
+    cfg.pe_count = 1;
+    auto stats = refsim::CycleLevelConvSim(cfg).run(l, wts, ins);
+    // MACs fall near the product of densities (correlation noise).
+    double expect = static_cast<double>(l.macs()) * 0.5 * 0.4;
+    EXPECT_NEAR(static_cast<double>(stats.macs), expect,
+                expect * 0.15);
+    EXPECT_EQ(stats.cycles, stats.macs);
+}
+
+TEST(CycleConv, ValidationAgainstAnalyticalModel)
+{
+    // SCNN-style design: effectual-only computes. The analytical
+    // prediction with actual-data models must land within a few
+    // percent of the simulated MAC count.
+    ConvLayerShape l = smallLayer(0.45, 0.55);
+    auto wts = std::make_shared<SparseTensor>(
+        generateUniform({l.k, l.c, l.r, l.s}, 0.45, 7));
+    auto ins = std::make_shared<SparseTensor>(
+        generateUniform({l.c, l.p + l.r - 1, l.q + l.s - 1}, 0.55, 8));
+    refsim::CycleConvConfig cfg;
+    cfg.pe_count = 1;
+    auto stats = refsim::CycleLevelConvSim(cfg).run(l, *wts, *ins);
+
+    Workload w = makeConv(l);
+    // Inputs tensor in the workload has a leading batch rank.
+    auto ins4 = std::make_shared<SparseTensor>(
+        Shape{1, l.c, l.p + l.r - 1, l.q + l.s - 1});
+    for (const auto &p : ins->sortedNonzeroPoints()) {
+        ins4->set({0, p[0], p[1], p[2]}, ins->at(p));
+    }
+    w.setDensity("Weights", makeActualDataDensity(wts));
+    w.setDensity("Inputs", makeActualDataDensity(ins4));
+
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = 1 << 22;
+    Architecture arch("conv", {dram, buf}, ComputeSpec{});
+    Mapping m = MappingBuilder(w, arch)
+                    .temporal(1, "P", l.p)
+                    .temporal(1, "Q", l.q)
+                    .temporal(1, "C", l.c)
+                    .temporal(1, "R", l.r)
+                    .temporal(1, "S", l.s)
+                    .temporal(1, "K", l.k)
+                    .buildComplete();
+    SafSpec safs;
+    int I = w.tensorIndex("Inputs"), W = w.tensorIndex("Weights"),
+        O = w.tensorIndex("Outputs");
+    safs.addSkip(1, W, {I});
+    safs.addSkip(1, O, {I, W});
+    EvalResult r = Engine(arch).evaluate(w, m, safs);
+    ASSERT_TRUE(r.valid);
+    double err = math::relativeError(
+        r.computes.actual, static_cast<double>(stats.macs));
+    EXPECT_LT(err, 0.03) << "model " << r.computes.actual << " vs sim "
+                         << stats.macs;
+}
+
+} // namespace
+} // namespace sparseloop

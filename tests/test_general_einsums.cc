@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the extended-Einsum coverage beyond CONV/matmul: GEMV,
+ * SDDMM, and MTTKRP — the "general sparse tensor algebra" workloads
+ * (ExTensor-class) that Sparseloop must comprehend.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/dense_traffic.hh"
+#include "model/engine.hh"
+#include "sparse/sparse_analysis.hh"
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace {
+
+Architecture
+arch2(double buffer_words = 1 << 20)
+{
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = buffer_words;
+    return Architecture("a2", {dram, buf}, ComputeSpec{});
+}
+
+TEST(Gemv, ShapesAndComputes)
+{
+    Workload w = makeGemv(64, 32);
+    EXPECT_EQ(w.denseComputeCount(), 64 * 32);
+    EXPECT_EQ(w.tensorShape(w.tensorIndex("A")), (Shape{64, 32}));
+    EXPECT_EQ(w.tensorShape(w.tensorIndex("x")), (Shape{32}));
+    EXPECT_EQ(w.tensorShape(w.tensorIndex("Z")), (Shape{64}));
+}
+
+TEST(Gemv, SpmvSkipOnMatrix)
+{
+    // Sparse matrix, dense vector: skip x reads on A's zeros.
+    Workload w = makeGemv(64, 64);
+    bindUniformDensities(w, {{"A", 0.1}});
+    Architecture arch = arch2();
+    Mapping m = MappingBuilder(w, arch)
+                    .temporal(1, "M", 64)
+                    .temporal(1, "K", 64)
+                    .buildComplete();
+    SafSpec safs;
+    safs.addSkip(1, w.tensorIndex("x"), {w.tensorIndex("A")});
+    EvalResult r = Engine(arch).evaluate(w, m, safs);
+    ASSERT_TRUE(r.valid);
+    EXPECT_NEAR(r.computes.actual, 64.0 * 64.0 * 0.1, 1.0);
+}
+
+TEST(Sddmm, SamplingMatrixGatesEverything)
+{
+    // SDDMM: S's sparsity makes whole K-reduction chains ineffectual.
+    Workload w = makeSddmm(32, 16, 32);
+    bindUniformDensities(w, {{"S", 0.05}});
+    Architecture arch = arch2();
+    Mapping m = MappingBuilder(w, arch)
+                    .temporal(1, "M", 32)
+                    .temporal(1, "N", 32)
+                    .temporal(1, "K", 16)
+                    .buildComplete();
+    SafSpec safs;
+    // Skip both dense operand streams based on the sampling matrix.
+    safs.addSkip(1, w.tensorIndex("A"), {w.tensorIndex("S")});
+    safs.addSkip(1, w.tensorIndex("B"), {w.tensorIndex("S")});
+    SparseAnalysis an(w, arch, m, safs);
+    // Leader region for the A skip: the innermost K loop is relevant
+    // to A, so the leader is a single S element -> P = 1 - dS.
+    EXPECT_NEAR(an.eliminationProbability(safs.intersections[0]), 0.95,
+                1e-3);
+    EvalResult r = Engine(arch).evaluate(w, m, safs);
+    ASSERT_TRUE(r.valid);
+    // Effectual fraction equals S's density.
+    EXPECT_NEAR(r.effectual_computes, r.computes.total() * 0.05,
+                r.computes.total() * 0.002);
+    EXPECT_NEAR(r.computes.actual, r.computes.total() * 0.05,
+                r.computes.total() * 0.002);
+}
+
+TEST(Mttkrp, ShapesRelevanceAndTraffic)
+{
+    Workload w = makeMttkrp(16, 8, 8, 4);
+    EXPECT_EQ(w.denseComputeCount(), 16 * 8 * 8 * 4);
+    int T = w.tensorIndex("T"), B = w.tensorIndex("B"),
+        Z = w.tensorIndex("Z");
+    EXPECT_FALSE(w.dimRelevant(T, w.dimIndex("R")));
+    EXPECT_TRUE(w.dimRelevant(B, w.dimIndex("R")));
+    EXPECT_FALSE(w.dimRelevant(Z, w.dimIndex("J")));
+
+    Architecture arch = arch2();
+    Mapping m = MappingBuilder(w, arch)
+                    .temporal(1, "I", 16)
+                    .temporal(1, "J", 8)
+                    .temporal(1, "K", 8)
+                    .temporal(1, "R", 4)
+                    .buildComplete();
+    DenseTraffic d = NestAnalysis(w, arch, m).analyze();
+    // The innermost R loop is irrelevant to T: T elements are reused
+    // across R, so T is read total/R times from the buffer.
+    EXPECT_DOUBLE_EQ(d.at(1, T).reads, 16.0 * 8 * 8);
+    // B is R-relevant: one read per MAC.
+    EXPECT_DOUBLE_EQ(d.at(1, B).reads, d.computes);
+}
+
+TEST(Mttkrp, SparseTensorTimesDenseFactors)
+{
+    // Classic sparse-tensor decomposition: T is hyper-sparse, factor
+    // matrices dense; skipping on T eliminates nearly everything.
+    Workload w = makeMttkrp(32, 16, 16, 8);
+    bindUniformDensities(w, {{"T", 0.01}});
+    Architecture arch = arch2();
+    Mapping m = MappingBuilder(w, arch)
+                    .temporal(1, "I", 32)
+                    .temporal(1, "J", 16)
+                    .temporal(1, "K", 16)
+                    .temporal(1, "R", 8)
+                    .buildComplete();
+    SafSpec safs;
+    safs.addSkip(1, w.tensorIndex("B"), {w.tensorIndex("T")});
+    safs.addSkip(1, w.tensorIndex("C"), {w.tensorIndex("T")});
+    SparseAnalysis an(w, arch, m, safs);
+    // The innermost R loop is irrelevant to the followers' leader T?
+    // No: R is relevant to B, so the B-skip leader is a single T
+    // element and P(eliminate) = 1 - dT.
+    EXPECT_NEAR(an.eliminationProbability(safs.intersections[0]), 0.99,
+                1e-3);
+    EvalResult r = Engine(arch).evaluate(w, m, safs);
+    ASSERT_TRUE(r.valid);
+    EXPECT_NEAR(r.computes.actual / r.computes.total(), 0.01, 1e-4);
+}
+
+TEST(Sddmm, FourTensorDescribe)
+{
+    Workload w = makeSddmm(8, 8, 8);
+    EXPECT_EQ(w.tensorCount(), 4);
+    EXPECT_EQ(w.outputTensor(), w.tensorIndex("Z"));
+}
+
+} // namespace
+} // namespace sparseloop

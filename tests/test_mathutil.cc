@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the combinatorial helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/mathutil.hh"
+
+namespace sparseloop {
+namespace {
+
+TEST(MathUtil, LogFactorialSmallValues)
+{
+    EXPECT_DOUBLE_EQ(math::logFactorial(0), 0.0);
+    EXPECT_DOUBLE_EQ(math::logFactorial(1), 0.0);
+    EXPECT_NEAR(math::logFactorial(5), std::log(120.0), 1e-12);
+    EXPECT_NEAR(math::logFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(MathUtil, ChooseMatchesPascal)
+{
+    EXPECT_NEAR(math::choose(5, 2), 10.0, 1e-9);
+    EXPECT_NEAR(math::choose(10, 5), 252.0, 1e-9);
+    EXPECT_NEAR(math::choose(52, 5), 2598960.0, 1e-3);
+}
+
+TEST(MathUtil, ChooseOutOfRangeIsZero)
+{
+    EXPECT_DOUBLE_EQ(math::choose(5, 6), 0.0);
+    EXPECT_DOUBLE_EQ(math::choose(5, -1), 0.0);
+}
+
+TEST(MathUtil, HypergeometricPmfSumsToOne)
+{
+    const std::int64_t pop = 40, succ = 10, s = 8;
+    double total = 0.0;
+    for (std::int64_t k = 0; k <= s; ++k) {
+        total += math::hypergeometricPmf(pop, succ, s, k);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MathUtil, HypergeometricMeanMatchesPmf)
+{
+    const std::int64_t pop = 64, succ = 16, s = 12;
+    double mean = 0.0;
+    for (std::int64_t k = 0; k <= s; ++k) {
+        mean += k * math::hypergeometricPmf(pop, succ, s, k);
+    }
+    EXPECT_NEAR(mean, math::hypergeometricMean(pop, succ, s), 1e-10);
+}
+
+TEST(MathUtil, HypergeometricProbEmptyMatchesPmfAtZero)
+{
+    const std::int64_t pop = 100, succ = 25, s = 6;
+    EXPECT_NEAR(math::hypergeometricProbEmpty(pop, succ, s),
+                math::hypergeometricPmf(pop, succ, s, 0), 1e-12);
+}
+
+TEST(MathUtil, HypergeometricProbEmptyBoundaries)
+{
+    // No nonzeros at all: always empty.
+    EXPECT_DOUBLE_EQ(math::hypergeometricProbEmpty(16, 0, 4), 1.0);
+    // Sample bigger than the zero population: never empty.
+    EXPECT_DOUBLE_EQ(math::hypergeometricProbEmpty(16, 14, 4), 0.0);
+    // Zero-size sample: trivially empty.
+    EXPECT_DOUBLE_EQ(math::hypergeometricProbEmpty(16, 8, 0), 1.0);
+}
+
+TEST(MathUtil, BinomialPmfSumsToOne)
+{
+    double total = 0.0;
+    for (std::int64_t k = 0; k <= 20; ++k) {
+        total += math::binomialPmf(20, 0.3, k);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MathUtil, BinomialDegenerateProbabilities)
+{
+    EXPECT_DOUBLE_EQ(math::binomialPmf(10, 0.0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(math::binomialPmf(10, 0.0, 3), 0.0);
+    EXPECT_DOUBLE_EQ(math::binomialPmf(10, 1.0, 10), 1.0);
+}
+
+TEST(MathUtil, CeilLog2)
+{
+    EXPECT_EQ(math::ceilLog2(1), 0);
+    EXPECT_EQ(math::ceilLog2(2), 1);
+    EXPECT_EQ(math::ceilLog2(3), 2);
+    EXPECT_EQ(math::ceilLog2(4), 2);
+    EXPECT_EQ(math::ceilLog2(5), 3);
+    EXPECT_EQ(math::ceilLog2(1024), 10);
+    EXPECT_EQ(math::ceilLog2(1025), 11);
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(math::ceilDiv(10, 2), 5);
+    EXPECT_EQ(math::ceilDiv(11, 2), 6);
+    EXPECT_EQ(math::ceilDiv(0, 3), 0);
+}
+
+TEST(MathUtil, DivisorsOfTwelve)
+{
+    auto d = math::divisors(12);
+    std::vector<std::int64_t> expect{1, 2, 3, 4, 6, 12};
+    EXPECT_EQ(d, expect);
+}
+
+TEST(MathUtil, DivisorsOfPrime)
+{
+    auto d = math::divisors(13);
+    std::vector<std::int64_t> expect{1, 13};
+    EXPECT_EQ(d, expect);
+}
+
+TEST(MathUtil, DivisorsOfOne)
+{
+    auto d = math::divisors(1);
+    std::vector<std::int64_t> expect{1};
+    EXPECT_EQ(d, expect);
+}
+
+TEST(MathUtil, RelativeError)
+{
+    EXPECT_NEAR(math::relativeError(1.1, 1.0), 0.1, 1e-12);
+    EXPECT_NEAR(math::relativeError(0.9, 1.0), 0.1, 1e-12);
+}
+
+/** Property sweep: hypergeometric pmf normalizes for many shapes. */
+class HypergeometricSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(HypergeometricSweep, PmfNormalizesAndMeanMatches)
+{
+    auto [pop, succ, s] = GetParam();
+    double total = 0.0, mean = 0.0;
+    for (std::int64_t k = 0; k <= s; ++k) {
+        double p = math::hypergeometricPmf(pop, succ, s, k);
+        total += p;
+        mean += k * p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+    EXPECT_NEAR(mean, math::hypergeometricMean(pop, succ, s), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HypergeometricSweep,
+    ::testing::Values(std::make_tuple(16, 4, 4),
+                      std::make_tuple(64, 32, 8),
+                      std::make_tuple(128, 1, 16),
+                      std::make_tuple(128, 127, 16),
+                      std::make_tuple(1024, 512, 64),
+                      std::make_tuple(4096, 41, 32)));
+
+} // namespace
+} // namespace sparseloop

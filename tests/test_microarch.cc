@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for step three (micro-architecture modeling): cycles,
+ * bandwidth throttling, capacity accounting, utilization, and the
+ * energy roll-up, checked against hand-computed values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "microarch/microarch_model.hh"
+#include "model/engine.hh"
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace {
+
+Architecture
+makeArch(double buf_bw, double buf_cap = 1 << 20,
+         std::int64_t fanout = 1)
+{
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    dram.fanout = fanout;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = buf_cap;
+    buf.bandwidth_words_per_cycle = buf_bw;
+    return Architecture("ma", {dram, buf}, ComputeSpec{});
+}
+
+Mapping
+flatMapping(const Workload &w, const Architecture &arch)
+{
+    return MappingBuilder(w, arch)
+        .temporal(1, "M", w.dims()[0].bound)
+        .temporal(1, "K", w.dims()[1].bound)
+        .temporal(1, "N", w.dims()[2].bound)
+        .buildComplete();
+}
+
+TEST(MicroArch, ComputeBoundCycles)
+{
+    // Generous bandwidth: latency = computes / instances.
+    Workload w = makeMatmul(8, 8, 8);
+    Architecture arch = makeArch(1e9);
+    Engine e(arch);
+    EvalResult r = e.evaluateDense(w, flatMapping(w, arch));
+    EXPECT_DOUBLE_EQ(r.cycles, 512.0);
+    EXPECT_DOUBLE_EQ(r.compute_cycles, 512.0);
+}
+
+TEST(MicroArch, BufferBandwidthBound)
+{
+    // Buffer must serve 2 operand reads per MAC at 1 word/cycle, plus
+    // fills and output updates: the buffer binds the latency.
+    Workload w = makeMatmul(8, 8, 8);
+    Architecture arch = makeArch(1.0);
+    Engine e(arch);
+    EvalResult r = e.evaluateDense(w, flatMapping(w, arch));
+    // A reads 64 (the innermost N loop reuses the A operand), B reads
+    // 512 (N-relevant), fills 64 + 64, Z updates 512 (N innermost ->
+    // no accumulator reuse), 448 read-modify-writes, 64 drains.
+    double buffer_words = 64 + 512 + 64 + 64 + 512 + 448 + 64;
+    EXPECT_DOUBLE_EQ(r.levels[1].cycles, buffer_words);
+    EXPECT_DOUBLE_EQ(r.cycles, buffer_words);
+    EXPECT_GT(r.cycles, r.compute_cycles);
+}
+
+TEST(MicroArch, SpatialInstancesShareTheLoad)
+{
+    Workload w = makeMatmul(8, 8, 8);
+    Architecture arch1 = makeArch(1e9, 1 << 20, 1);
+    Architecture arch8 = makeArch(1e9, 1 << 20, 8);
+    Mapping m1 = flatMapping(w, arch1);
+    Mapping m8 = MappingBuilder(w, arch8)
+                     .spatial(0, "M", 8)
+                     .temporal(1, "K", 8)
+                     .temporal(1, "N", 8)
+                     .buildComplete();
+    EvalResult r1 = Engine(arch1).evaluateDense(w, m1);
+    EvalResult r8 = Engine(arch8).evaluateDense(w, m8);
+    EXPECT_DOUBLE_EQ(r1.cycles / r8.cycles, 8.0);
+    EXPECT_EQ(r8.compute_instances, 8);
+}
+
+TEST(MicroArch, GatedActionsOccupyCycles)
+{
+    Workload w = makeMatmul(8, 8, 8);
+    bindUniformDensities(w, {{"A", 0.25}});
+    Architecture arch = makeArch(1.0);
+    Engine e(arch);
+    Mapping m = flatMapping(w, arch);
+    SafSpec gate;
+    gate.addGate(1, w.tensorIndex("B"), {w.tensorIndex("A")});
+    SafSpec skip;
+    skip.addSkip(1, w.tensorIndex("B"), {w.tensorIndex("A")});
+    EvalResult rg = e.evaluate(w, m, gate);
+    EvalResult rs = e.evaluate(w, m, skip);
+    EvalResult rd = e.evaluateDense(w, m);
+    EXPECT_DOUBLE_EQ(rg.cycles, rd.cycles);
+    EXPECT_LT(rs.cycles, rd.cycles);
+}
+
+TEST(MicroArch, OccupiedWordsTracksFootprints)
+{
+    Workload w = makeMatmul(8, 8, 8);
+    Architecture arch = makeArch(1e9);
+    Engine e(arch);
+    EvalResult r = e.evaluateDense(w, flatMapping(w, arch));
+    // Buffer holds all of A, B, Z: 64 * 3 words.
+    EXPECT_DOUBLE_EQ(r.levels[1].occupied_words, 192.0);
+    EXPECT_DOUBLE_EQ(r.levels[1].worst_case_words, 192.0);
+}
+
+TEST(MicroArch, UtilizationIsActualComputesPerCycleSlot)
+{
+    Workload w = makeMatmul(8, 8, 8);
+    Architecture arch = makeArch(1e9);
+    Engine e(arch);
+    EvalResult r = e.evaluateDense(w, flatMapping(w, arch));
+    EXPECT_NEAR(r.computeUtilization(), 1.0, 1e-9);
+    // With skipping, cycles shrink with the computes: utilization
+    // stays high; with gating, utilization collapses.
+    bindUniformDensities(w, {{"A", 0.25}});
+    SafSpec skip;
+    skip.addSkip(1, w.tensorIndex("B"), {w.tensorIndex("A")});
+    EvalResult rs = e.evaluate(w, flatMapping(w, arch), skip);
+    EXPECT_NEAR(rs.computeUtilization(), 1.0, 1e-6);
+    SafSpec gate;
+    gate.addGate(1, w.tensorIndex("B"), {w.tensorIndex("A")});
+    EvalResult rg = e.evaluate(w, flatMapping(w, arch), gate);
+    EXPECT_NEAR(rg.computeUtilization(), 0.25, 1e-6);
+}
+
+TEST(MicroArch, EnergyRollupMatchesHandComputation)
+{
+    Workload w = makeMatmul(4, 4, 4);
+    Architecture arch = makeArch(1e9);
+    Engine e(arch);
+    EvalResult r = e.evaluateDense(w, flatMapping(w, arch));
+    const EnergyModel &em = e.energyModel();
+    // Buffer: 64+64 A/B reads... recompute from traffic directly.
+    double expect = 0.0;
+    for (int l = 0; l < 2; ++l) {
+        for (int t = 0; t < 3; ++t) {
+            const auto &s = r.sparse.at(l, t);
+            expect += (s.reads.actual + s.acc_reads.actual +
+                       s.drains.actual) *
+                      em.storageEnergy(l, ActionKind::Read);
+            expect += (s.fills.actual + s.updates.actual) *
+                      em.storageEnergy(l, ActionKind::Write);
+        }
+    }
+    expect += r.computes.actual * em.computeEnergy(ActionKind::Compute);
+    EXPECT_NEAR(r.energy_pj, expect, expect * 1e-9);
+}
+
+TEST(MicroArch, EdpIsProduct)
+{
+    Workload w = makeMatmul(4, 4, 4);
+    Architecture arch = makeArch(1e9);
+    EvalResult r = Engine(arch).evaluateDense(w, flatMapping(w, arch));
+    EXPECT_DOUBLE_EQ(r.edp(), r.cycles * r.energy_pj);
+}
+
+TEST(MicroArch, CheckCapacityToggle)
+{
+    Workload w = makeMatmul(64, 64, 64);
+    Architecture arch = makeArch(1e9, /*buf_cap=*/16);
+    EngineOptions opts;
+    opts.check_capacity = false;
+    Engine lenient(arch, opts);
+    EvalResult r = lenient.evaluateDense(w, flatMapping(w, arch));
+    EXPECT_TRUE(r.valid);  // capacity check disabled
+    Engine strict(arch);
+    EvalResult r2 = strict.evaluateDense(w, flatMapping(w, arch));
+    EXPECT_FALSE(r2.valid);
+}
+
+} // namespace
+} // namespace sparseloop

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the network-level evaluator (Sec. 6.1 methodology) and
+ * the Table 3 taxonomy renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/designs.hh"
+#include "apps/dnn_models.hh"
+#include "model/network.hh"
+#include "sparse/describe.hh"
+
+namespace sparseloop {
+namespace {
+
+TEST(Network, AggregatesAcrossLayers)
+{
+    std::vector<NetworkLayer> layers;
+    for (const auto &l : apps::alexnetConvLayers()) {
+        layers.push_back({l.name, makeConv(l)});
+    }
+    NetworkEval eval = evaluateNetwork(
+        layers, [](const Workload &w) {
+            apps::DesignPoint d = apps::buildEyeriss(w);
+            return std::make_tuple(d.arch, d.mapping, d.safs);
+        });
+    ASSERT_EQ(eval.layers.size(), 5u);
+    EXPECT_TRUE(eval.all_valid);
+    double sum_cycles = 0.0, sum_energy = 0.0;
+    double sum_macs = 0.0;
+    for (const auto &l : eval.layers) {
+        sum_cycles += l.result.cycles;
+        sum_energy += l.result.energy_pj;
+    }
+    for (const auto &l : apps::alexnetConvLayers()) {
+        sum_macs += static_cast<double>(l.macs());
+    }
+    EXPECT_DOUBLE_EQ(eval.total_cycles, sum_cycles);
+    EXPECT_DOUBLE_EQ(eval.total_energy_pj, sum_energy);
+    EXPECT_DOUBLE_EQ(eval.total_computes, sum_macs);
+    // Activation sparsity makes a sizeable share ineffectual.
+    EXPECT_LT(eval.effectualFraction(), 0.8);
+    EXPECT_GT(eval.effectualFraction(), 0.3);
+}
+
+TEST(Network, ReportContainsLayersAndTotal)
+{
+    std::vector<NetworkLayer> layers;
+    auto alex = apps::alexnetConvLayers();
+    layers.push_back({alex[0].name, makeConv(alex[0])});
+    NetworkEval eval = evaluateNetwork(
+        layers, [](const Workload &w) {
+            apps::DesignPoint d = apps::buildScnn(w);
+            return std::make_tuple(d.arch, d.mapping, d.safs);
+        });
+    std::string report = formatNetworkReport(eval);
+    EXPECT_NE(report.find("conv1"), std::string::npos);
+    EXPECT_NE(report.find("TOTAL"), std::string::npos);
+}
+
+TEST(Describe, IntersectionNotation)
+{
+    ConvLayerShape shape = apps::alexnetConvLayers()[2];
+    Workload w = makeConv(shape);
+    apps::DesignPoint d = apps::buildScnn(w);
+    // SCNN: Skip W <- I and Skip O <- I & W (Table 3).
+    std::string text = describe(d.safs, w, d.arch);
+    EXPECT_NE(text.find("Skip Weights <- Inputs"), std::string::npos);
+    EXPECT_NE(text.find("Skip Outputs <- Inputs & Weights"),
+              std::string::npos);
+    EXPECT_NE(text.find("Gate Compute"), std::string::npos);
+    EXPECT_NE(text.find("B-UOP-RLE"), std::string::npos);
+}
+
+TEST(Describe, EyerissNotationMatchesTable3)
+{
+    ConvLayerShape shape = apps::alexnetConvLayers()[1];
+    Workload w = makeConv(shape);
+    apps::DesignPoint d = apps::buildEyeriss(w);
+    std::string text = describe(d.safs, w, d.arch);
+    // Innermost storage gating: Gate W <- I, Gate O <- I.
+    EXPECT_NE(text.find("Gate Weights <- Inputs @RegFile"),
+              std::string::npos);
+    EXPECT_NE(text.find("Gate Outputs <- Inputs @RegFile"),
+              std::string::npos);
+    // Off-chip B-RLE inputs.
+    EXPECT_NE(text.find("B-RLE"), std::string::npos);
+}
+
+TEST(Describe, DenseDesignSaysSo)
+{
+    Workload w = makeMatmul(4, 4, 4);
+    apps::DesignPoint d = apps::buildDenseTensorCore(w);
+    std::string text = describe(d.safs, w, d.arch);
+    EXPECT_NE(text.find("no SAFs"), std::string::npos);
+}
+
+} // namespace
+} // namespace sparseloop

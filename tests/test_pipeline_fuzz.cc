@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Whole-pipeline fuzzing: random mappings, random SAF combinations,
+ * and random densities must always satisfy the model's global
+ * invariants. These properties are the backbone of trusting the
+ * analytical model across the design space, not just on the curated
+ * test cases:
+ *
+ *  1. action-count conservation: actual + gated + skipped equals the
+ *     dense count for every traffic item;
+ *  2. monotonicity: adding a skip SAF never increases cycles; adding
+ *     any SAF never increases energy beyond small metadata overheads;
+ *  3. effectual computes are a lower bound on actual computes;
+ *  4. no negative counts anywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/logging.hh"
+#include "model/engine.hh"
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace {
+
+Architecture
+fuzzArch(std::mt19937_64 &rng)
+{
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    std::uniform_int_distribution<int> fan(1, 3);
+    dram.fanout = 1 << fan(rng);
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = 1 << 22;
+    buf.bandwidth_words_per_cycle = 8.0;
+    return Architecture("fuzz", {dram, buf}, ComputeSpec{});
+}
+
+Mapping
+fuzzMapping(const Workload &w, const Architecture &arch,
+            std::mt19937_64 &rng)
+{
+    // Random split of each dimension between the two levels plus a
+    // random inner order; optionally one spatial loop.
+    MappingBuilder b(w, arch);
+    std::vector<int> dims{0, 1, 2};
+    std::shuffle(dims.begin(), dims.end(), rng);
+    std::vector<std::string> names{"M", "K", "N"};
+    bool used_spatial = false;
+    for (int d : dims) {
+        std::int64_t bound = w.dims()[d].bound;
+        std::uniform_int_distribution<int> split(0, 3);
+        std::int64_t inner = std::min<std::int64_t>(
+            bound, 1LL << split(rng));
+        inner = bound % inner == 0 ? inner : 1;
+        if (!used_spatial && arch.level(0).fanout > 1 &&
+            bound / inner >= 2 && split(rng) == 0) {
+            std::int64_t sp = std::min<std::int64_t>(
+                arch.level(0).fanout, 2);
+            if ((bound / inner) % sp == 0) {
+                b.spatial(0, names[d], sp);
+                used_spatial = true;
+            }
+        }
+        b.temporal(1, names[d], inner);
+    }
+    return b.buildComplete();
+}
+
+SafSpec
+fuzzSafs(const Workload &w, std::mt19937_64 &rng)
+{
+    SafSpec s;
+    std::uniform_int_distribution<int> coin(0, 1);
+    int A = w.tensorIndex("A"), B = w.tensorIndex("B"),
+        Z = w.tensorIndex("Z");
+    if (coin(rng)) {
+        s.addFormat(1, A, makeCsr());
+    }
+    if (coin(rng)) {
+        s.addFormat(0, B, makeBitmask(2));
+    }
+    if (coin(rng)) {
+        s.addSkip(1, B, {A});
+    } else {
+        s.addGate(1, B, {A});
+    }
+    if (coin(rng)) {
+        s.addSkip(1, Z, {A, B});
+    }
+    if (coin(rng)) {
+        s.addComputeSaf(coin(rng) ? SafKind::Skip : SafKind::Gate);
+    }
+    return s;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PipelineFuzz, InvariantsHoldOnRandomConfigs)
+{
+    std::mt19937_64 rng(GetParam() * 7919 + 13);
+    std::uniform_real_distribution<double> dens(0.02, 0.9);
+
+    Workload w = makeMatmul(16, 16, 16);
+    double da = dens(rng), db = dens(rng);
+    bindUniformDensities(w, {{"A", da}, {"B", db}});
+    Architecture arch = fuzzArch(rng);
+    Mapping m = fuzzMapping(w, arch, rng);
+    SafSpec safs = fuzzSafs(w, rng);
+
+    Engine engine(arch);
+    EvalResult dense = engine.evaluateDense(w, m);
+    EvalResult sparse = engine.evaluate(w, m, safs);
+    ASSERT_TRUE(dense.valid);
+    ASSERT_TRUE(sparse.valid);
+
+    // (1) conservation per traffic item.
+    for (int l = 0; l < 2; ++l) {
+        for (int t = 0; t < 3; ++t) {
+            const auto &sd = dense.sparse.at(l, t);
+            const auto &ss = sparse.sparse.at(l, t);
+            // Dense counts of uncompressed runs come straight from the
+            // dataflow step.
+            const bool compressed =
+                safs.formatAt(l, t) != nullptr &&
+                safs.formatAt(l, t)->anyCompressed();
+            if (!compressed) {
+                EXPECT_NEAR(ss.reads.total(), sd.reads.total(), 1e-6);
+                EXPECT_NEAR(ss.updates.total(), sd.updates.total(),
+                            1e-6);
+            } else {
+                EXPECT_LE(ss.reads.total(),
+                          sd.reads.total() + 1e-6);
+            }
+            // (4) non-negativity.
+            for (double v :
+                 {ss.reads.actual, ss.reads.gated, ss.reads.skipped,
+                  ss.fills.actual, ss.fills.gated, ss.fills.skipped,
+                  ss.updates.actual, ss.updates.gated,
+                  ss.updates.skipped, ss.acc_reads.actual,
+                  ss.meta_reads, ss.meta_fills,
+                  ss.tile_data_words, ss.tile_worst_words}) {
+                EXPECT_GE(v, -1e-9);
+            }
+        }
+    }
+    // (1b) compute conservation.
+    EXPECT_NEAR(sparse.computes.total(), dense.computes.total(), 1e-6);
+    // (2) skipping monotonicity.
+    EXPECT_LE(sparse.cycles, dense.cycles + 1e-6);
+    // (3) effectual lower bound.
+    EXPECT_GE(sparse.computes.actual + 1e-6,
+              sparse.effectual_computes);
+    // EDP finite and positive.
+    EXPECT_GT(sparse.edp(), 0.0);
+    EXPECT_TRUE(std::isfinite(sparse.edp()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range(0, 40));
+
+} // namespace
+} // namespace sparseloop

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the human-facing reporting surfaces and engine options.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/engine.hh"
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace {
+
+Architecture
+arch2()
+{
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = 1 << 20;
+    return Architecture("rep", {dram, buf}, ComputeSpec{});
+}
+
+TEST(Reporting, MappingToStringShowsLoops)
+{
+    Workload w = makeMatmul(4, 4, 4);
+    Architecture arch = arch2();
+    Mapping m = MappingBuilder(w, arch)
+                    .temporal(0, "M", 4)
+                    .temporal(1, "K", 4)
+                    .temporal(1, "N", 4)
+                    .build();
+    std::string text = m.toString(w);
+    EXPECT_NE(text.find("L0: for M in [0:4)"), std::string::npos);
+    EXPECT_NE(text.find("for K in [0:4)"), std::string::npos);
+}
+
+TEST(Reporting, MappingToStringMarksSpatialLoops)
+{
+    Workload w = makeMatmul(4, 4, 4);
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    dram.fanout = 4;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = 1 << 20;
+    Architecture arch("rep", {dram, buf}, ComputeSpec{});
+    Mapping m = MappingBuilder(w, arch)
+                    .spatial(0, "N", 4)
+                    .temporal(1, "M", 4)
+                    .temporal(1, "K", 4)
+                    .buildComplete();
+    EXPECT_NE(m.toString(w).find("par-for N"), std::string::npos);
+}
+
+TEST(Reporting, InvalidMappingReportSaysSo)
+{
+    Workload w = makeMatmul(64, 64, 64);
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = 16;
+    Architecture arch("rep", {dram, buf}, ComputeSpec{});
+    Mapping m = MappingBuilder(w, arch)
+                    .temporal(1, "M", 64)
+                    .temporal(1, "K", 64)
+                    .temporal(1, "N", 64)
+                    .buildComplete();
+    EvalResult r = Engine(arch).evaluateDense(w, m);
+    std::string report = formatReport(r, w, arch);
+    EXPECT_NE(report.find("INVALID MAPPING"), std::string::npos);
+}
+
+TEST(Reporting, MetadataWordWidthAffectsEnergy)
+{
+    // Wider metadata words make each metadata access cost more.
+    Workload w = makeMatmul(32, 32, 32);
+    bindUniformDensities(w, {{"A", 0.2}});
+    Architecture arch = arch2();
+    Mapping m = MappingBuilder(w, arch)
+                    .temporal(1, "M", 32)
+                    .temporal(1, "K", 32)
+                    .temporal(1, "N", 32)
+                    .buildComplete();
+    SafSpec safs;
+    safs.addFormat(1, w.tensorIndex("A"), makeCsr());
+    EngineOptions narrow;
+    narrow.metadata_bits_per_word = 4;
+    EngineOptions wide;
+    wide.metadata_bits_per_word = 16;
+    EvalResult rn = Engine(arch, narrow).evaluate(w, m, safs);
+    EvalResult rw = Engine(arch, wide).evaluate(w, m, safs);
+    EXPECT_LT(rn.energy_pj, rw.energy_pj);
+}
+
+TEST(Reporting, GatedEnergyFractionScalesGatingCost)
+{
+    Workload w = makeMatmul(32, 32, 32);
+    bindUniformDensities(w, {{"A", 0.2}});
+    Architecture arch = arch2();
+    Mapping m = MappingBuilder(w, arch)
+                    .temporal(1, "M", 32)
+                    .temporal(1, "K", 32)
+                    .temporal(1, "N", 32)
+                    .buildComplete();
+    SafSpec safs;
+    safs.addGate(1, w.tensorIndex("B"), {w.tensorIndex("A")});
+    EngineOptions cheap;
+    cheap.gated_energy_fraction = 0.02;
+    EngineOptions costly;
+    costly.gated_energy_fraction = 0.5;
+    EvalResult rc = Engine(arch, cheap).evaluate(w, m, safs);
+    EvalResult rx = Engine(arch, costly).evaluate(w, m, safs);
+    EXPECT_LT(rc.energy_pj, rx.energy_pj);
+    // Cycles are untouched by the energy knob.
+    EXPECT_DOUBLE_EQ(rc.cycles, rx.cycles);
+}
+
+} // namespace
+} // namespace sparseloop

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the SAF specification API and logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sparse/saf.hh"
+
+namespace sparseloop {
+namespace {
+
+TEST(SafSpec, FluentBuildersAccumulate)
+{
+    SafSpec s;
+    s.addFormat(0, 1, makeCsr())
+        .addSkip(1, 2, {0})
+        .addGate(1, 0, {2})
+        .addComputeSaf(SafKind::Skip);
+    EXPECT_EQ(s.formats.size(), 1u);
+    EXPECT_EQ(s.intersections.size(), 2u);
+    EXPECT_EQ(s.compute.size(), 1u);
+    EXPECT_EQ(s.intersections[0].kind, SafKind::Skip);
+    EXPECT_EQ(s.intersections[1].kind, SafKind::Gate);
+}
+
+TEST(SafSpec, DoubleSidedExpandsToBothDirections)
+{
+    SafSpec s;
+    s.addDoubleSided(SafKind::Skip, 1, 0, 1);
+    ASSERT_EQ(s.intersections.size(), 2u);
+    EXPECT_EQ(s.intersections[0].target, 0);
+    EXPECT_EQ(s.intersections[0].leaders, std::vector<int>{1});
+    EXPECT_EQ(s.intersections[1].target, 1);
+    EXPECT_EQ(s.intersections[1].leaders, std::vector<int>{0});
+}
+
+TEST(SafSpec, FormatLookup)
+{
+    SafSpec s;
+    s.addFormat(0, 1, makeCsr());
+    s.addFormat(2, 1, makeBitmask(1));
+    ASSERT_NE(s.formatAt(0, 1), nullptr);
+    EXPECT_EQ(s.formatAt(0, 1)->name(), "CSR(UOP-CP)");
+    EXPECT_EQ(s.formatAt(1, 1), nullptr);
+    EXPECT_EQ(s.formatAt(0, 0), nullptr);
+    ASSERT_NE(s.formatAt(2, 1), nullptr);
+}
+
+TEST(SafSpec, SingleComputeSafEnforced)
+{
+    SafSpec s;
+    s.addComputeSaf(SafKind::Gate);
+    EXPECT_THROW(s.addComputeSaf(SafKind::Skip), FatalError);
+}
+
+TEST(SafSpec, KindNames)
+{
+    EXPECT_EQ(toString(SafKind::Gate), "Gate");
+    EXPECT_EQ(toString(SafKind::Skip), "Skip");
+}
+
+TEST(Logging, FatalThrowsCatchableError)
+{
+    try {
+        SL_FATAL("problem with value ", 42);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("problem with value 42"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("test_saf_spec.cc"), std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesOnTrueCondition)
+{
+    SL_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace sparseloop
