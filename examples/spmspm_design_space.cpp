@@ -3,15 +3,15 @@
  * Design-space exploration for sparse matrix multiplication: use the
  * mapper to find the best mapping per (dataflow x SAF) design across
  * application density regimes — a compact version of the Sec. 7.2
- * co-design case study, but with automatic mapspace search instead of
- * hand-written mappings.
+ * co-design case study, but with automatic mapspace search (sharded
+ * across all cores) instead of hand-written mappings.
  */
 
 #include <cstdio>
 #include <vector>
 
 #include "apps/designs.hh"
-#include "mapper/mapper.hh"
+#include "mapper/parallel_mapper.hh"
 #include "model/engine.hh"
 
 using namespace sparseloop;
@@ -56,7 +56,7 @@ main()
                 opts.samples = 400;
                 opts.objective = Objective::Edp;
                 MapperResult searched =
-                    Mapper(w, d.arch, d.safs, opts).search();
+                    ParallelMapper(w, d.arch, d.safs, opts).search();
                 evaluated += searched.candidates_evaluated;
                 if (searched.found &&
                     (edp == 0.0 || searched.eval.edp() < edp)) {

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything (library, 25 test
+# binaries, 17 benches, 5 examples), and run the full CTest suite.
+# Usage: scripts/verify.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j
+ctest --test-dir "${build_dir}" --output-on-failure -j

@@ -132,10 +132,16 @@ Mapper::sampleMapping(std::uint64_t seed) const
 MapperResult
 Mapper::search() const
 {
+    return searchShard(0, options_.samples).result;
+}
+
+ShardOutcome
+Mapper::searchShard(int begin, int end) const
+{
     Engine engine(arch_);
-    MapperResult best;
-    double best_obj = 0.0;
-    for (int i = 0; i < options_.samples; ++i) {
+    ShardOutcome out;
+    MapperResult &best = out.result;
+    for (int i = begin; i < end; ++i) {
         auto candidate = sampleMapping(options_.seed + i);
         if (!candidate) {
             continue;
@@ -152,14 +158,15 @@ Mapper::search() const
         }
         ++best.candidates_valid;
         double obj = objectiveValue(eval);
-        if (!best.found || obj < best_obj) {
+        if (!best.found || obj < out.best_objective) {
             best.found = true;
             best.mapping = *candidate;
             best.eval = eval;
-            best_obj = obj;
+            out.best_objective = obj;
+            out.best_index = i;
         }
     }
-    return best;
+    return out;
 }
 
 } // namespace sparseloop

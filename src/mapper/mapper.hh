@@ -65,6 +65,19 @@ struct MapperResult
     std::int64_t candidates_valid = 0;
 };
 
+/**
+ * Outcome of searching one contiguous shard [begin, end) of the sample
+ * index space, carrying enough context (objective value and winning
+ * sample index) for a deterministic cross-shard reduction.
+ */
+struct ShardOutcome
+{
+    MapperResult result;
+    double best_objective = 0.0;
+    /** Sample index of the shard's best candidate; -1 when none. */
+    int best_index = -1;
+};
+
 class Mapper
 {
   public:
@@ -74,6 +87,16 @@ class Mapper
 
     /** Run the randomized search. */
     MapperResult search() const;
+
+    /**
+     * Search sample indices [begin, end). Thread-safe: callers may run
+     * disjoint shards concurrently on the same Mapper, then merge the
+     * outcomes with the (objective, sample index) lexicographic rule to
+     * recover exactly the sequential search() result.
+     */
+    ShardOutcome searchShard(int begin, int end) const;
+
+    const MapperOptions &options() const { return options_; }
 
     /** Objective value of an evaluation under the configured metric. */
     double objectiveValue(const EvalResult &eval) const;

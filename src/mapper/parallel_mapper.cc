@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Sharded mapspace search across a std::thread worker pool.
+ */
+
+#include "mapper/parallel_mapper.hh"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace sparseloop {
+
+ParallelMapper::ParallelMapper(const Workload &workload,
+                               const Architecture &arch,
+                               const SafSpec &safs, MapperOptions options,
+                               ParallelMapperOptions parallel_options,
+                               MapspaceConstraints constraints)
+    : mapper_(workload, arch, safs, options, std::move(constraints)),
+      parallel_options_(parallel_options)
+{
+}
+
+int
+ParallelMapper::threadCount() const
+{
+    int threads = parallel_options_.num_threads;
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    threads = std::max(threads, 1);
+    // Never more workers than samples: empty shards are pure overhead.
+    return std::min(threads, std::max(mapper_.options().samples, 1));
+}
+
+MapperResult
+ParallelMapper::search() const
+{
+    const int samples = mapper_.options().samples;
+    const int threads = threadCount();
+    if (threads == 1) {
+        return mapper_.search();
+    }
+
+    // Contiguous shards: worker t owns [t*chunk, ...) with the first
+    // `rest` shards one sample larger, covering [0, samples) exactly.
+    const int chunk = samples / threads;
+    const int rest = samples % threads;
+    std::vector<ShardOutcome> outcomes(threads);
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    int begin = 0;
+    for (int t = 0; t < threads; ++t) {
+        const int end = begin + chunk + (t < rest ? 1 : 0);
+        pool.emplace_back([this, t, begin, end, &outcomes] {
+            outcomes[t] = mapper_.searchShard(begin, end);
+        });
+        begin = end;
+    }
+    for (auto &worker : pool) {
+        worker.join();
+    }
+
+    // Deterministic reduction: counts sum across shards; the winner is
+    // the minimum (objective, sample index) pair, i.e. exactly the
+    // candidate the sequential scan would have kept.
+    MapperResult merged;
+    double best_obj = 0.0;
+    int best_index = -1;
+    for (const ShardOutcome &out : outcomes) {
+        merged.candidates_evaluated += out.result.candidates_evaluated;
+        merged.candidates_valid += out.result.candidates_valid;
+        if (!out.result.found) {
+            continue;
+        }
+        if (!merged.found || out.best_objective < best_obj ||
+            (out.best_objective == best_obj &&
+             out.best_index < best_index)) {
+            merged.found = true;
+            merged.mapping = out.result.mapping;
+            merged.eval = out.result.eval;
+            best_obj = out.best_objective;
+            best_index = out.best_index;
+        }
+    }
+    return merged;
+}
+
+} // namespace sparseloop

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Multi-threaded mapspace search. Design-space-exploration sweeps
+ * evaluate thousands of candidate mappings per design point, and every
+ * candidate is independent, so the search shards the sample index
+ * space across a std::thread worker pool. Each worker reduces its
+ * shard to a local best; the final reduction merges shards in index
+ * order with an (objective, sample index) lexicographic tie-break,
+ * which makes the result bit-identical to the sequential Mapper at
+ * every thread count.
+ */
+
+#ifndef SPARSELOOP_MAPPER_PARALLEL_MAPPER_HH
+#define SPARSELOOP_MAPPER_PARALLEL_MAPPER_HH
+
+#include "mapper/mapper.hh"
+
+namespace sparseloop {
+
+struct ParallelMapperOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    int num_threads = 0;
+};
+
+class ParallelMapper
+{
+  public:
+    ParallelMapper(const Workload &workload, const Architecture &arch,
+                   const SafSpec &safs, MapperOptions options = {},
+                   ParallelMapperOptions parallel_options = {},
+                   MapspaceConstraints constraints = {});
+
+    /**
+     * Run the sharded search. Returns the same MapperResult as
+     * Mapper::search() with identical options and constraints.
+     */
+    MapperResult search() const;
+
+    /** Resolved worker count for the configured sample budget. */
+    int threadCount() const;
+
+  private:
+    Mapper mapper_;
+    ParallelMapperOptions parallel_options_;
+};
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_MAPPER_PARALLEL_MAPPER_HH

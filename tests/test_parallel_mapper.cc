@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the multi-threaded mapspace search: the parallel mapper
+ * must return results bit-identical to the sequential Mapper across
+ * objectives and thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mapper/parallel_mapper.hh"
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace {
+
+Architecture
+searchArch()
+{
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    dram.bandwidth_words_per_cycle = 16.0;
+    dram.fanout = 4;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = 4096;
+    buf.bandwidth_words_per_cycle = 8.0;
+    return Architecture("search", {dram, buf}, ComputeSpec{});
+}
+
+void
+expectIdentical(const MapperResult &seq, const MapperResult &par)
+{
+    ASSERT_EQ(seq.found, par.found);
+    EXPECT_EQ(seq.candidates_evaluated, par.candidates_evaluated);
+    EXPECT_EQ(seq.candidates_valid, par.candidates_valid);
+    if (!seq.found) {
+        return;
+    }
+    // Bit-identical evaluation: exact double equality, no tolerance.
+    EXPECT_EQ(seq.eval.cycles, par.eval.cycles);
+    EXPECT_EQ(seq.eval.energy_pj, par.eval.energy_pj);
+    EXPECT_EQ(seq.eval.edp(), par.eval.edp());
+    EXPECT_EQ(seq.eval.compute_instances, par.eval.compute_instances);
+    EXPECT_EQ(seq.eval.computes.total(), par.eval.computes.total());
+    // Identical winning mapping, loop by loop.
+    ASSERT_EQ(seq.mapping.levelCount(), par.mapping.levelCount());
+    for (int l = 0; l < seq.mapping.levelCount(); ++l) {
+        const LevelNest &a = seq.mapping.level(l);
+        const LevelNest &b = par.mapping.level(l);
+        ASSERT_EQ(a.loops.size(), b.loops.size());
+        for (std::size_t i = 0; i < a.loops.size(); ++i) {
+            EXPECT_EQ(a.loops[i].dim, b.loops[i].dim);
+            EXPECT_EQ(a.loops[i].bound, b.loops[i].bound);
+            EXPECT_EQ(a.loops[i].spatial, b.loops[i].spatial);
+        }
+        EXPECT_EQ(a.keep, b.keep);
+    }
+}
+
+TEST(ParallelMapper, MatchesSequentialAcrossThreadCounts)
+{
+    Workload w = makeMatmul(16, 16, 16);
+    Architecture arch = searchArch();
+    SafSpec none;
+    MapperOptions opts;
+    opts.samples = 300;
+    MapperResult seq = Mapper(w, arch, none, opts).search();
+    ASSERT_TRUE(seq.found);
+    for (int threads : {1, 2, 8}) {
+        ParallelMapperOptions popts;
+        popts.num_threads = threads;
+        MapperResult par =
+            ParallelMapper(w, arch, none, opts, popts).search();
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectIdentical(seq, par);
+    }
+}
+
+TEST(ParallelMapper, MatchesSequentialAcrossObjectives)
+{
+    Workload w = makeMatmul(32, 32, 32);
+    Architecture arch = searchArch();
+    SafSpec none;
+    for (Objective obj :
+         {Objective::Edp, Objective::Delay, Objective::Energy}) {
+        MapperOptions opts;
+        opts.objective = obj;
+        opts.samples = 400;
+        MapperResult seq = Mapper(w, arch, none, opts).search();
+        ASSERT_TRUE(seq.found);
+        for (int threads : {2, 8}) {
+            ParallelMapperOptions popts;
+            popts.num_threads = threads;
+            MapperResult par =
+                ParallelMapper(w, arch, none, opts, popts).search();
+            SCOPED_TRACE("objective=" +
+                         std::to_string(static_cast<int>(obj)) +
+                         " threads=" + std::to_string(threads));
+            expectIdentical(seq, par);
+        }
+    }
+}
+
+TEST(ParallelMapper, MatchesSequentialWithSafsAndConstraints)
+{
+    Workload w = makeMatmul(32, 32, 32);
+    bindUniformDensities(w, {{"A", 0.1}});
+    Architecture arch = searchArch();
+    SafSpec safs;
+    safs.addSkip(1, w.tensorIndex("B"), {w.tensorIndex("A")});
+    MapspaceConstraints cons;
+    cons.levels.resize(2);
+    cons.levels[1].loop_order = {w.dimIndex("M"), w.dimIndex("K")};
+    MapperOptions opts;
+    opts.samples = 400;
+    MapperResult seq = Mapper(w, arch, safs, opts, cons).search();
+    ASSERT_TRUE(seq.found);
+    for (int threads : {2, 8}) {
+        ParallelMapperOptions popts;
+        popts.num_threads = threads;
+        MapperResult par =
+            ParallelMapper(w, arch, safs, opts, popts, cons).search();
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectIdentical(seq, par);
+    }
+}
+
+TEST(ParallelMapper, ThreadCountClampsToSamples)
+{
+    Workload w = makeMatmul(8, 8, 8);
+    Architecture arch = searchArch();
+    SafSpec none;
+    MapperOptions opts;
+    opts.samples = 3;
+    ParallelMapperOptions popts;
+    popts.num_threads = 16;
+    ParallelMapper mapper(w, arch, none, opts, popts);
+    EXPECT_EQ(mapper.threadCount(), 3);
+    MapperResult seq = Mapper(w, arch, none, opts).search();
+    MapperResult par = mapper.search();
+    expectIdentical(seq, par);
+}
+
+TEST(ParallelMapper, DefaultThreadCountIsPositive)
+{
+    Workload w = makeMatmul(8, 8, 8);
+    Architecture arch = searchArch();
+    SafSpec none;
+    MapperOptions opts;
+    opts.samples = 64;
+    ParallelMapper mapper(w, arch, none, opts);
+    EXPECT_GE(mapper.threadCount(), 1);
+    MapperResult seq = Mapper(w, arch, none, opts).search();
+    MapperResult par = mapper.search();
+    expectIdentical(seq, par);
+}
+
+} // namespace
+} // namespace sparseloop
