@@ -7,6 +7,12 @@
  * This demonstrates the taxonomy's value: three very different designs
  * (different formats, gating vs skipping, different dataflows) are
  * described and evaluated through one interface.
+ *
+ * All layers of a design are submitted as one BatchEvaluator batch:
+ * each layer is an independent evaluation point, so they fan out
+ * across the worker pool. (AlexNet's conv layers all differ in shape
+ * or measured density, so no two deduplicate here; a network with
+ * truly repeated layers would collapse them to one evaluation.)
  */
 
 #include <cstdio>
@@ -14,7 +20,7 @@
 
 #include "apps/designs.hh"
 #include "apps/dnn_models.hh"
-#include "model/engine.hh"
+#include "model/batch_evaluator.hh"
 
 using namespace sparseloop;
 
@@ -31,31 +37,58 @@ runNetwork(const std::string &design)
 {
     Totals totals;
     std::printf("\n--- %s on AlexNet ---\n", design.c_str());
-    std::printf("%-8s %-14s %-12s %-10s %-10s\n", "layer", "cycles",
-                "energy_uJ", "util", "skipped%");
-    for (const auto &layer : apps::alexnetConvLayers()) {
-        Workload w = makeConv(layer);
-        apps::DesignPoint d =
+
+    // Materialize every layer's evaluation point first (the batch
+    // holds pointers, so workloads and designs must outlive it).
+    const std::vector<ConvLayerShape> layers = apps::alexnetConvLayers();
+    std::vector<Workload> workloads;
+    std::vector<apps::DesignPoint> designs;
+    workloads.reserve(layers.size());
+    designs.reserve(layers.size());
+    for (const auto &layer : layers) {
+        workloads.push_back(makeConv(layer));
+        const Workload &w = workloads.back();
+        designs.push_back(
             design == "eyeriss" ? apps::buildEyeriss(w)
             : design == "eyeriss-v2-pe" ? apps::buildEyerissV2Pe(w)
-                                        : apps::buildScnn(w);
-        Engine engine(d.arch);
-        EvalResult r = engine.evaluate(w, d.mapping, d.safs);
+                                        : apps::buildScnn(w));
+    }
+    std::vector<EvalPoint> points;
+    points.reserve(layers.size());
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        points.push_back(
+            {&workloads[i], &designs[i].mapping, &designs[i].safs});
+    }
+
+    // One engine serves the whole network: a design's architecture
+    // does not change across layers.
+    BatchEvaluator evaluator(Engine(designs.front().arch));
+    BatchStats batch_stats;
+    std::vector<EvalResult> results =
+        evaluator.evaluateBatch(points, &batch_stats);
+
+    std::printf("%-8s %-14s %-12s %-10s %-10s\n", "layer", "cycles",
+                "energy_uJ", "util", "skipped%");
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const EvalResult &r = results[i];
         if (!r.valid) {
-            std::printf("%-8s INVALID: %s\n", layer.name.c_str(),
+            std::printf("%-8s INVALID: %s\n", layers[i].name.c_str(),
                         r.invalid_reason.c_str());
             continue;
         }
         double skipped_pct = 100.0 * r.computes.skipped /
                              r.computes.total();
         std::printf("%-8s %-14.0f %-12.2f %-10.3f %-10.1f\n",
-                    layer.name.c_str(), r.cycles, r.energy_pj / 1e6,
+                    layers[i].name.c_str(), r.cycles, r.energy_pj / 1e6,
                     r.computeUtilization(), skipped_pct);
         totals.cycles += r.cycles;
         totals.energy_uj += r.energy_pj / 1e6;
     }
-    std::printf("total: %.0f cycles, %.2f uJ\n", totals.cycles,
-                totals.energy_uj);
+    std::printf("total: %.0f cycles, %.2f uJ (%lld layers -> %lld "
+                "unique evaluations)\n",
+                totals.cycles, totals.energy_uj,
+                static_cast<long long>(batch_stats.points),
+                static_cast<long long>(batch_stats.unique_points));
     return totals;
 }
 

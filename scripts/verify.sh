@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build everything (library, 25 test
-# binaries, 17 benches, 5 examples), and run the full CTest suite.
+# Tier-1 verification: configure, build everything (library, 27 test
+# binaries, 18 benches, 5 examples), run the full CTest suite, and —
+# when doxygen is installed — run the API-docs check (warnings in
+# src/model and src/mapper are errors, mirroring the CI docs job).
 # Usage: scripts/verify.sh [build-dir]
 set -euo pipefail
 
@@ -10,3 +12,10 @@ build_dir="${1:-${repo_root}/build}"
 cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure -j
+
+if command -v doxygen >/dev/null 2>&1; then
+    echo "== docs check (doxygen, warnings are errors) =="
+    (cd "${repo_root}" && doxygen docs/Doxyfile)
+else
+    echo "== docs check skipped: doxygen not installed =="
+fi

@@ -6,6 +6,7 @@
 #include "arch/architecture.hh"
 
 #include "common/logging.hh"
+#include "common/mathutil.hh"
 
 namespace sparseloop {
 
@@ -51,6 +52,31 @@ Architecture::maxComputeUnits() const
         units *= l.fanout;
     }
     return units;
+}
+
+
+std::uint64_t
+Architecture::signature() const
+{
+    std::uint64_t h = math::hashCombine(math::kHashSeed, levels_.size());
+    for (const StorageLevelSpec &l : levels_) {
+        // Level names are part of the identity: they surface in
+        // EvalResult level records and invalid-mapping reasons.
+        h = math::hashString(h, l.name);
+        h = math::hashCombine(h, static_cast<std::uint64_t>(l.storage_class));
+        h = math::hashDouble(h, l.capacity_words);
+        h = math::hashCombine(h, static_cast<std::uint64_t>(l.word_bits));
+        h = math::hashDouble(h, l.bandwidth_words_per_cycle);
+        h = math::hashCombine(h, static_cast<std::uint64_t>(l.fanout));
+        h = math::hashCombine(h,
+                              static_cast<std::uint64_t>(l.block_size_words));
+        h = math::hashDouble(h, l.read_energy_pj);
+        h = math::hashDouble(h, l.write_energy_pj);
+    }
+    h = math::hashString(h, compute_.name);
+    h = math::hashCombine(h,
+                          static_cast<std::uint64_t>(compute_.datapath_bits));
+    return math::hashDouble(h, compute_.mac_energy_pj);
 }
 
 } // namespace sparseloop

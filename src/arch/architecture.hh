@@ -94,6 +94,17 @@ class Architecture
     /** Innermost storage level index. */
     int innermost() const { return levelCount() - 1; }
 
+    /**
+     * Evaluation-cache identity: hashes every level and compute
+     * attribute (capacities, word widths, bandwidths, fanouts, block
+     * sizes, energy overrides) including level/compute names — they
+     * are embedded in EvalResult level records, so renamed levels must
+     * not share cache entries. Only the architecture's own display
+     * name is excluded: two differently-named but otherwise identical
+     * architectures share cached evaluations.
+     */
+    std::uint64_t signature() const;
+
     /** Maximum total compute units (product of all fanouts). */
     std::int64_t maxComputeUnits() const;
 

@@ -10,6 +10,7 @@
 #define SPARSELOOP_COMMON_MATHUTIL_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace sparseloop {
@@ -63,6 +64,29 @@ std::vector<std::int64_t> divisors(std::int64_t n);
 
 /** Relative error |a - b| / max(|b|, eps). */
 double relativeError(double a, double b, double eps = 1e-12);
+
+/**
+ * @name Stable 64-bit hashing (FNV-1a + splitmix finalization)
+ * Building blocks for the evaluation-cache signatures
+ * (`Workload::signature()`, `Mapping::signature()`, ...). The mixing is
+ * deterministic within a process run, which is all an in-memory cache
+ * key needs.
+ */
+/// @{
+
+/** Seed for incremental hashing chains (FNV-1a offset basis). */
+constexpr std::uint64_t kHashSeed = 1469598103934665603ull;
+
+/** Mix a 64-bit value into a running hash. */
+std::uint64_t hashCombine(std::uint64_t h, std::uint64_t value);
+
+/** Mix a string (length-prefixed bytes) into a running hash. */
+std::uint64_t hashString(std::uint64_t h, const std::string &s);
+
+/** Mix a double (by bit pattern) into a running hash. */
+std::uint64_t hashDouble(std::uint64_t h, double value);
+
+/// @}
 
 } // namespace math
 } // namespace sparseloop

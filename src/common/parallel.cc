@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Worker-pool helper implementation.
+ */
+
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sparseloop {
+namespace parallel {
+
+int
+resolveThreadCount(int requested, std::int64_t jobs)
+{
+    int threads = requested;
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    threads = std::max(threads, 1);
+    return static_cast<int>(
+        std::min<std::int64_t>(threads, std::max<std::int64_t>(jobs, 1)));
+}
+
+void
+runOnThreads(int threads, const std::function<void(int)> &fn)
+{
+    if (threads <= 1) {
+        fn(0);
+        return;
+    }
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            try {
+                fn(t);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error) {
+                    error = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto &worker : pool) {
+        worker.join();
+    }
+    if (error) {
+        std::rethrow_exception(error);
+    }
+}
+
+void
+parallelFor(int threads, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    runOnThreads(threads, [&](int) {
+        while (!failed.load(std::memory_order_relaxed)) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) {
+                return;
+            }
+            try {
+                fn(i);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error) {
+                    error = std::current_exception();
+                }
+            }
+        }
+    });
+    if (error) {
+        std::rethrow_exception(error);
+    }
+}
+
+} // namespace parallel
+} // namespace sparseloop

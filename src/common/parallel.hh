@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared std::thread worker-pool helpers. Both the sharded mapspace
+ * search (ParallelMapper) and the batch evaluator fan independent
+ * work out across threads; this module keeps the thread-count
+ * resolution and pool mechanics in one place so the two stay
+ * consistent.
+ */
+
+#ifndef SPARSELOOP_COMMON_PARALLEL_HH
+#define SPARSELOOP_COMMON_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace sparseloop {
+namespace parallel {
+
+/**
+ * Resolve a requested worker count: 0 (or negative) means
+ * hardware_concurrency, the result is at least 1 and never exceeds
+ * @p jobs (idle workers are pure overhead).
+ */
+int resolveThreadCount(int requested, std::int64_t jobs);
+
+/**
+ * Run fn(t) for t in [0, threads) with one std::thread per t
+ * (inline on the caller when threads <= 1). The first exception any
+ * worker throws is rethrown after all workers join.
+ */
+void runOnThreads(int threads, const std::function<void(int)> &fn);
+
+/**
+ * Dynamic parallel-for: run fn(i) for every i in [0, count), with
+ * items claimed atomically by @p threads workers. After any item
+ * throws, workers stop claiming new items; the first exception is
+ * rethrown once the pool drains (so some items may be skipped on
+ * failure — callers must treat the batch as aborted).
+ */
+void parallelFor(int threads, std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace parallel
+} // namespace sparseloop
+
+#endif // SPARSELOOP_COMMON_PARALLEL_HH

@@ -55,6 +55,20 @@ struct TensorLevelDense
     double acc_reads = 0.0;
     /** Output element-reads leaving this level toward the parent. */
     double drains = 0.0;
+
+    /** Exact (bitwise double) equality; feeds the cache's bit-identity
+     *  contract — keep in sync with the field list above. */
+    bool operator==(const TensorLevelDense &o) const
+    {
+        return kept == o.kept && footprint == o.footprint &&
+               tile_extents == o.tile_extents && fills == o.fills &&
+               reads == o.reads && updates == o.updates &&
+               acc_reads == o.acc_reads && drains == o.drains;
+    }
+    bool operator!=(const TensorLevelDense &o) const
+    {
+        return !(*this == o);
+    }
 };
 
 /** Result of the dataflow modeling step. */
@@ -73,6 +87,15 @@ struct DenseTraffic
     {
         return levels[level][tensor];
     }
+
+    /** Exact equality over every record (bit-identity contract). */
+    bool operator==(const DenseTraffic &o) const
+    {
+        return computes == o.computes && instances == o.instances &&
+               compute_instances == o.compute_instances &&
+               levels == o.levels;
+    }
+    bool operator!=(const DenseTraffic &o) const { return !(*this == o); }
 };
 
 /**

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "common/mathutil.hh"
 
 namespace sparseloop {
 
@@ -121,6 +122,14 @@ DensityModelPtr
 makeActualDataDensity(std::shared_ptr<const SparseTensor> data)
 {
     return std::make_shared<ActualDataDensity>(std::move(data));
+}
+
+
+std::uint64_t
+ActualDataDensity::signature() const
+{
+    std::uint64_t h = math::hashString(math::kHashSeed, name());
+    return math::hashCombine(h, instanceId());
 }
 
 } // namespace sparseloop

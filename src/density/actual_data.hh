@@ -40,6 +40,15 @@ class ActualDataDensity : public DensityModel
 
     const SparseTensor &data() const { return *data_; }
 
+    /**
+     * Identity is this model instance (via the base instance id):
+     * actual-data results are never shared between separately
+     * constructed models, even over the same tensor. A recycled heap
+     * address must not alias a dead model's cache entries, so the
+     * identity is a minted id, not the data pointer.
+     */
+    std::uint64_t signature() const override;
+
   private:
     std::shared_ptr<const SparseTensor> data_;
 

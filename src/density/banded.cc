@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/mathutil.hh"
 
 namespace sparseloop {
 
@@ -158,6 +159,17 @@ makeBandedDensity(std::int64_t rows, std::int64_t cols,
 {
     return std::make_shared<BandedDensity>(rows, cols, half_bandwidth,
                                            in_band_density);
+}
+
+
+std::uint64_t
+BandedDensity::signature() const
+{
+    std::uint64_t h = math::hashString(math::kHashSeed, name());
+    h = math::hashCombine(h, static_cast<std::uint64_t>(rows_));
+    h = math::hashCombine(h, static_cast<std::uint64_t>(cols_));
+    h = math::hashCombine(h, static_cast<std::uint64_t>(half_bandwidth_));
+    return math::hashDouble(h, in_band_density_);
 }
 
 } // namespace sparseloop

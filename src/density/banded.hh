@@ -41,6 +41,9 @@ class BandedDensity : public DensityModel
     std::int64_t bandElementsInTile(const Point &origin,
                                     const Shape &extents) const;
 
+    /** Identity is (shape, half-bandwidth, in-band density). */
+    std::uint64_t signature() const override;
+
   private:
     std::int64_t rows_;
     std::int64_t cols_;

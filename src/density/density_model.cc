@@ -6,7 +6,10 @@
 #include "density/density_model.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+
+#include "common/mathutil.hh"
 
 namespace sparseloop {
 
@@ -79,6 +82,23 @@ std::int64_t
 DensityModel::maxOccupancyShaped(const Shape &extents) const
 {
     return maxOccupancy(volume(extents));
+}
+
+std::uint64_t
+DensityModel::nextInstanceId()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+DensityModel::signature() const
+{
+    // Conservative default: models that don't describe their parameters
+    // are only ever equal to themselves.
+    std::uint64_t h = math::hashString(math::kHashSeed, name());
+    h = math::hashDouble(h, tensorDensity());
+    return math::hashCombine(h, instance_id_);
 }
 
 } // namespace sparseloop

@@ -87,6 +87,26 @@ class DensityModel
 
     /** Whether fiber density depends on fiber coordinates (Table 4). */
     virtual bool coordinateDependent() const { return false; }
+
+    /**
+     * Stable in-process identity for evaluation caching: two models with
+     * equal signatures must answer every query identically. Concrete
+     * models override this with a hash of their defining parameters so
+     * that separately-constructed but semantically identical models
+     * share cache entries; the base default conservatively mixes in a
+     * process-unique instance id (never an address, which allocators
+     * recycle), so an un-overridden model is only equal to itself.
+     */
+    virtual std::uint64_t signature() const;
+
+  protected:
+    /** Process-unique id minted per constructed model (see signature). */
+    std::uint64_t instanceId() const { return instance_id_; }
+
+  private:
+    std::uint64_t instance_id_ = nextInstanceId();
+
+    static std::uint64_t nextInstanceId();
 };
 
 using DensityModelPtr = std::shared_ptr<const DensityModel>;

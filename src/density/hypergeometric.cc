@@ -81,4 +81,13 @@ makeUniformDensity(std::int64_t tensor_elems, double density)
     return std::make_shared<HypergeometricDensity>(tensor_elems, density);
 }
 
+
+std::uint64_t
+HypergeometricDensity::signature() const
+{
+    std::uint64_t h = math::hashString(math::kHashSeed, name());
+    h = math::hashCombine(h, static_cast<std::uint64_t>(tensor_elems_));
+    return math::hashCombine(h, static_cast<std::uint64_t>(nonzeros_));
+}
+
 } // namespace sparseloop

@@ -34,6 +34,9 @@ class HypergeometricDensity : public DensityModel
     std::int64_t tensorElements() const { return tensor_elems_; }
     std::int64_t nonzeroCount() const { return nonzeros_; }
 
+    /** Identity is (N, K): any equal-parameter model behaves equally. */
+    std::uint64_t signature() const override;
+
   private:
     std::int64_t tensor_elems_;
     std::int64_t nonzeros_;

@@ -91,4 +91,13 @@ makeStructuredDensity(std::int64_t n, std::int64_t m)
     return std::make_shared<FixedStructuredDensity>(n, m);
 }
 
+
+std::uint64_t
+FixedStructuredDensity::signature() const
+{
+    std::uint64_t h = math::hashString(math::kHashSeed, name());
+    h = math::hashCombine(h, static_cast<std::uint64_t>(n_));
+    return math::hashCombine(h, static_cast<std::uint64_t>(m_));
+}
+
 } // namespace sparseloop

@@ -35,6 +35,9 @@ class FixedStructuredDensity : public DensityModel
     std::int64_t n() const { return n_; }
     std::int64_t m() const { return m_; }
 
+    /** Identity is the (n, m) block pattern. */
+    std::uint64_t signature() const override;
+
   private:
     std::int64_t n_;
     std::int64_t m_;

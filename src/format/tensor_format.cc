@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/mathutil.hh"
 
 namespace sparseloop {
 
@@ -214,6 +215,19 @@ makeCoordinateList(int coord_bits)
 {
     return TensorFormat({rank(RankFormatKind::CP, coord_bits)},
                         "CoordList(CP)");
+}
+
+
+std::uint64_t
+TensorFormat::signature() const
+{
+    std::uint64_t h = math::hashCombine(math::kHashSeed, ranks_.size());
+    for (const RankFormat &rank : ranks_) {
+        h = math::hashCombine(h, static_cast<std::uint64_t>(rank.kind));
+        h = math::hashCombine(h,
+                              static_cast<std::uint64_t>(rank.explicit_bits));
+    }
+    return h;
 }
 
 } // namespace sparseloop

@@ -99,6 +99,13 @@ class TensorFormat
                                         &rank_extents,
                                     int data_bits) const;
 
+    /**
+     * Evaluation-cache identity: hashes the per-rank format kinds and
+     * explicit bit widths. The display name is ignored — formats with
+     * identical rank stacks behave identically.
+     */
+    std::uint64_t signature() const;
+
   private:
     std::vector<RankFormat> ranks_;
     std::string name_;

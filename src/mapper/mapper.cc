@@ -139,6 +139,14 @@ ShardOutcome
 Mapper::searchShard(int begin, int end) const
 {
     Engine engine(arch_);
+    // The engine, workload, and SAF spec are fixed for the whole
+    // search; only the candidate mapping's signature varies per sample.
+    EvalKey key;
+    if (options_.cache) {
+        key.engine = engine.signature();
+        key.workload = workload_.signature();
+        key.safs = safs_.signature();
+    }
     ShardOutcome out;
     MapperResult &best = out.result;
     for (int i = begin; i < end; ++i) {
@@ -149,7 +157,13 @@ Mapper::searchShard(int begin, int end) const
         ++best.candidates_evaluated;
         EvalResult eval;
         try {
-            eval = engine.evaluate(workload_, *candidate, safs_);
+            if (options_.cache) {
+                key.mapping = candidate->signature();
+                eval = evaluateCached(engine, *options_.cache, key,
+                                      workload_, *candidate, safs_);
+            } else {
+                eval = engine.evaluate(workload_, *candidate, safs_);
+            }
         } catch (const FatalError &) {
             continue;  // malformed candidate (e.g. fanout violation)
         }

@@ -12,9 +12,10 @@
 #define SPARSELOOP_MAPPER_MAPPER_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
-#include "model/engine.hh"
+#include "model/eval_cache.hh"
 
 namespace sparseloop {
 
@@ -53,6 +54,18 @@ struct MapperOptions
     /** Random candidates to evaluate. */
     int samples = 2000;
     std::uint64_t seed = 0xC0FFEE;
+    /**
+     * Optional shared evaluation cache. When set, every candidate
+     * evaluation goes through `evaluateCached`, so repeated searches
+     * (restarts with the same seed), concurrent shards of a
+     * `ParallelMapper`, and sibling design points sharing tile shapes
+     * reuse results and Step-1 dense analyses. The search outcome is
+     * bit-identical with or without a cache (up to 64-bit signature
+     * collisions between distinct candidates, ~2^-64 per pair). Keys
+     * cover the engine configuration, so one cache can serve searches
+     * over different architectures without cross-talk.
+     */
+    std::shared_ptr<EvalCache> cache;
 };
 
 /** Search outcome. */

@@ -5,9 +5,9 @@
 
 #include "mapper/parallel_mapper.hh"
 
-#include <algorithm>
-#include <thread>
 #include <vector>
+
+#include "common/parallel.hh"
 
 namespace sparseloop {
 
@@ -24,13 +24,9 @@ ParallelMapper::ParallelMapper(const Workload &workload,
 int
 ParallelMapper::threadCount() const
 {
-    int threads = parallel_options_.num_threads;
-    if (threads <= 0) {
-        threads = static_cast<int>(std::thread::hardware_concurrency());
-    }
-    threads = std::max(threads, 1);
     // Never more workers than samples: empty shards are pure overhead.
-    return std::min(threads, std::max(mapper_.options().samples, 1));
+    return parallel::resolveThreadCount(parallel_options_.num_threads,
+                                        mapper_.options().samples);
 }
 
 MapperResult
@@ -46,20 +42,14 @@ ParallelMapper::search() const
     // `rest` shards one sample larger, covering [0, samples) exactly.
     const int chunk = samples / threads;
     const int rest = samples % threads;
-    std::vector<ShardOutcome> outcomes(threads);
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    int begin = 0;
+    std::vector<int> bounds(static_cast<std::size_t>(threads) + 1, 0);
     for (int t = 0; t < threads; ++t) {
-        const int end = begin + chunk + (t < rest ? 1 : 0);
-        pool.emplace_back([this, t, begin, end, &outcomes] {
-            outcomes[t] = mapper_.searchShard(begin, end);
-        });
-        begin = end;
+        bounds[t + 1] = bounds[t] + chunk + (t < rest ? 1 : 0);
     }
-    for (auto &worker : pool) {
-        worker.join();
-    }
+    std::vector<ShardOutcome> outcomes(threads);
+    parallel::runOnThreads(threads, [this, &bounds, &outcomes](int t) {
+        outcomes[t] = mapper_.searchShard(bounds[t], bounds[t + 1]);
+    });
 
     // Deterministic reduction: counts sum across shards; the winner is
     // the minimum (objective, sample index) pair, i.e. exactly the

@@ -8,6 +8,24 @@
  * order with an (objective, sample index) lexicographic tie-break,
  * which makes the result bit-identical to the sequential Mapper at
  * every thread count.
+ *
+ * Pair the search with an `EvalCache` (via `MapperOptions::cache`) to
+ * share candidate evaluations across worker threads, across restarts,
+ * and with any `BatchEvaluator` sharing the same cache object.
+ *
+ * Quickstart:
+ * @code
+ *   MapperOptions opts;
+ *   opts.samples = 4000;
+ *   opts.objective = Objective::Edp;
+ *   opts.cache = std::make_shared<EvalCache>();  // optional, shared
+ *   ParallelMapperOptions popts;                 // 0 = all cores
+ *   ParallelMapper mapper(workload, arch, safs, opts, popts);
+ *   MapperResult best = mapper.search();
+ *   if (best.found) {
+ *       std::puts(best.mapping.toString(workload).c_str());
+ *   }
+ * @endcode
  */
 
 #ifndef SPARSELOOP_MAPPER_PARALLEL_MAPPER_HH

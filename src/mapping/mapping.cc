@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/mathutil.hh"
 
 namespace sparseloop {
 
@@ -176,6 +177,29 @@ MappingBuilder::buildComplete() const
     Mapping m(std::move(levels));
     m.validate(workload_, arch_);
     return m;
+}
+
+
+std::uint64_t
+Mapping::signature() const
+{
+    std::uint64_t h = math::hashCombine(math::kHashSeed, levels_.size());
+    for (const LevelNest &nest : levels_) {
+        h = math::hashCombine(h, nest.loops.size());
+        for (const Loop &loop : nest.loops) {
+            h = math::hashCombine(h, static_cast<std::uint64_t>(loop.dim));
+            h = math::hashCombine(h, static_cast<std::uint64_t>(loop.bound));
+            h = math::hashCombine(h, loop.spatial ? 1 : 0);
+        }
+        // An empty keep mask (keep-all) hashes differently from an
+        // explicit all-true mask; both behave identically, so this only
+        // costs an occasional miss.
+        h = math::hashCombine(h, nest.keep.size());
+        for (bool kept : nest.keep) {
+            h = math::hashCombine(h, kept ? 1 : 0);
+        }
+    }
+    return h;
 }
 
 } // namespace sparseloop

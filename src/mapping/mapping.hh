@@ -88,6 +88,14 @@ class Mapping
     /** Human-readable multi-line description of the nest. */
     std::string toString(const Workload &workload) const;
 
+    /**
+     * Evaluation-cache identity: hashes the full loop-nest structure
+     * (per-level loops with dimension, bound, and spatial flag) and the
+     * keep/bypass masks. Two mappings with equal signatures drive the
+     * dataflow step identically.
+     */
+    std::uint64_t signature() const;
+
   private:
     std::vector<LevelNest> levels_;
 };

@@ -37,6 +37,18 @@ struct LevelResult
     double worst_case_words = 0.0;
     /** Data + metadata words moved per cycle (bandwidth demand). */
     double bandwidth_demand = 0.0;
+
+    /** Exact (bitwise double) equality; feeds the cache's bit-identity
+     *  contract — keep in sync with the field list above. */
+    bool operator==(const LevelResult &o) const
+    {
+        return name == o.name && cycles == o.cycles &&
+               energy_pj == o.energy_pj &&
+               occupied_words == o.occupied_words &&
+               worst_case_words == o.worst_case_words &&
+               bandwidth_demand == o.bandwidth_demand;
+    }
+    bool operator!=(const LevelResult &o) const { return !(*this == o); }
 };
 
 /** Full evaluation result for one (workload, arch, mapping, SAFs). */
@@ -73,6 +85,25 @@ struct EvalResult
                   (cycles * static_cast<double>(compute_instances))
             : 0.0;
     }
+
+    /**
+     * Exact equality over every field, including the retained traffic
+     * — the bit-identity contract the evaluation cache guarantees
+     * relative to uncached evaluation (see bitIdentical in engine.hh).
+     */
+    bool operator==(const EvalResult &o) const
+    {
+        return valid == o.valid && invalid_reason == o.invalid_reason &&
+               cycles == o.cycles && energy_pj == o.energy_pj &&
+               computes == o.computes &&
+               effectual_computes == o.effectual_computes &&
+               compute_energy_pj == o.compute_energy_pj &&
+               compute_cycles == o.compute_cycles &&
+               compute_instances == o.compute_instances &&
+               levels == o.levels && dense == o.dense &&
+               sparse == o.sparse;
+    }
+    bool operator!=(const EvalResult &o) const { return !(*this == o); }
 };
 
 class MicroArchModel

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Batched evaluation: dedupe by EvalKey, group by dense prefix, fan
+ * groups out across a worker pool.
+ */
+
+#include "model/batch_evaluator.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace sparseloop {
+
+BatchEvaluator::BatchEvaluator(Engine engine,
+                               std::shared_ptr<EvalCache> cache,
+                               BatchEvaluatorOptions options)
+    : engine_(std::move(engine)), cache_(std::move(cache)),
+      options_(options)
+{
+    if (!cache_) {
+        cache_ = std::make_shared<EvalCache>(options_.cache);
+    }
+}
+
+EvalResult
+BatchEvaluator::evaluate(const Workload &workload, const Mapping &mapping,
+                         const SafSpec &safs) const
+{
+    return evaluateCached(engine_, *cache_, workload, mapping, safs);
+}
+
+int
+BatchEvaluator::threadCount(std::size_t jobs) const
+{
+    return parallel::resolveThreadCount(
+        options_.num_threads, static_cast<std::int64_t>(jobs));
+}
+
+std::vector<EvalResult>
+BatchEvaluator::evaluateBatch(const std::vector<EvalPoint> &points,
+                              BatchStats *stats) const
+{
+    // 1. Dedupe: one job per distinct EvalKey; remember which job
+    //    serves each input point.
+    struct Job
+    {
+        EvalKey key;
+        const EvalPoint *point = nullptr;
+        std::shared_ptr<const DenseTraffic> dense;
+        std::shared_ptr<const EvalResult> result;
+    };
+    std::vector<Job> jobs;
+    std::vector<std::size_t> point_to_job(points.size());
+    std::unordered_map<EvalKey, std::size_t, EvalKeyHash> job_of;
+    job_of.reserve(points.size());
+    // Sweeps share workloads/mappings/SAF specs across many points;
+    // memoize each object's signature by address so it hashes once
+    // (one map per type: different-typed objects may share addresses).
+    auto memoized = [](auto &memo, const auto *ptr) {
+        auto [it, inserted] = memo.emplace(ptr, 0);
+        if (inserted) {
+            it->second = ptr->signature();
+        }
+        return it->second;
+    };
+    std::unordered_map<const Workload *, std::uint64_t> workload_sigs;
+    std::unordered_map<const Mapping *, std::uint64_t> mapping_sigs;
+    std::unordered_map<const SafSpec *, std::uint64_t> saf_sigs;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const EvalPoint &p = points[i];
+        if (!p.workload || !p.mapping || !p.safs) {
+            SL_FATAL("EvalPoint ", i, " has a null component");
+        }
+        EvalKey key;
+        key.engine = engine_.signature();
+        key.workload = memoized(workload_sigs, p.workload);
+        key.mapping = memoized(mapping_sigs, p.mapping);
+        key.safs = memoized(saf_sigs, p.safs);
+        auto [it, inserted] = job_of.emplace(key, jobs.size());
+        if (inserted) {
+            Job job;
+            job.key = key;
+            job.point = &p;
+            jobs.push_back(std::move(job));
+        }
+        point_to_job[i] = it->second;
+    }
+
+    // 2. Resolve full-result cache hits up front, then group only the
+    //    unresolved jobs by dense prefix so each of their Step-1 dense
+    //    analyses runs (or is fetched) exactly once — and a batch of
+    //    pure repeats never touches the dense level at all.
+    std::vector<std::size_t> unresolved;
+    unresolved.reserve(jobs.size());
+    std::unordered_map<DenseKey, std::vector<std::size_t>, DenseKeyHash>
+        grouped;
+    grouped.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        jobs[j].result = cache_->findResult(jobs[j].key);
+        if (!jobs[j].result) {
+            unresolved.push_back(j);
+            grouped[jobs[j].key.densePrefix()].push_back(j);
+        }
+    }
+    std::vector<std::vector<std::size_t>> groups;
+    groups.reserve(grouped.size());
+    for (auto &kv : grouped) {
+        groups.push_back(std::move(kv.second));
+    }
+
+    if (stats) {
+        stats->points = static_cast<std::int64_t>(points.size());
+        stats->unique_points = static_cast<std::int64_t>(jobs.size());
+        stats->dense_groups = static_cast<std::int64_t>(groups.size());
+    }
+
+    // Fan work out over the pool (atomic claiming, prompt abort and
+    // rethrow on the first exception).
+    auto fan_out = [this](std::size_t count,
+                          const std::function<void(std::size_t)> &work) {
+        parallel::parallelFor(threadCount(count), count, work);
+    };
+
+    // 3a. Materialize each group's Step-1 dense traffic exactly once
+    //     (groups fan out across the pool; each hits the cache first).
+    fan_out(groups.size(), [&](std::size_t g) {
+        const Job &lead = jobs[groups[g].front()];
+        const DenseKey dense_key = lead.key.densePrefix();
+        std::shared_ptr<const DenseTraffic> dense =
+            cache_->findDense(dense_key);
+        if (!dense) {
+            dense = std::make_shared<const DenseTraffic>(
+                engine_.analyzeDataflow(*lead.point->workload,
+                                        *lead.point->mapping));
+            cache_->storeDense(dense_key, dense);
+        }
+        for (std::size_t j : groups[g]) {
+            jobs[j].dense = dense;
+        }
+    });
+
+    // 3b. Evaluate the unresolved jobs (steps 2-3) across the pool.
+    fan_out(unresolved.size(), [&](std::size_t u) {
+        Job &job = jobs[unresolved[u]];
+        const EvalPoint &p = *job.point;
+        job.result = std::make_shared<const EvalResult>(
+            engine_.evaluateFromDense(*p.workload, *p.mapping, *p.safs,
+                                      *job.dense));
+        cache_->storeResult(job.key, job.result);
+    });
+
+    // 4. Scatter the deduplicated results back to input order.
+    std::vector<EvalResult> results;
+    results.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        results.push_back(*jobs[point_to_job[i]].result);
+    }
+    return results;
+}
+
+} // namespace sparseloop

@@ -8,6 +8,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/mathutil.hh"
 #include "sparse/sparse_analysis.hh"
 
 namespace sparseloop {
@@ -17,14 +18,34 @@ Engine::Engine(Architecture arch, EngineOptions options)
       energy_(arch_, options.gated_energy_fraction,
               options.metadata_bits_per_word)
 {
+    std::uint64_t h = arch_.signature();
+    h = math::hashCombine(h, options_.check_capacity ? 1 : 0);
+    h = math::hashDouble(h, options_.gated_energy_fraction);
+    signature_ = math::hashCombine(
+        h, static_cast<std::uint64_t>(options_.metadata_bits_per_word));
 }
 
 EvalResult
 Engine::evaluate(const Workload &workload, const Mapping &mapping,
                  const SafSpec &safs) const
 {
+    return evaluateFromDense(workload, mapping, safs,
+                             analyzeDataflow(workload, mapping));
+}
+
+DenseTraffic
+Engine::analyzeDataflow(const Workload &workload,
+                        const Mapping &mapping) const
+{
     NestAnalysis nest(workload, arch_, mapping);
-    DenseTraffic dense = nest.analyze();
+    return nest.analyze();
+}
+
+EvalResult
+Engine::evaluateFromDense(const Workload &workload, const Mapping &mapping,
+                          const SafSpec &safs,
+                          const DenseTraffic &dense) const
+{
     SparseAnalysis sparse_step(workload, arch_, mapping, safs);
     SparseTraffic sparse = sparse_step.analyze(dense);
     MicroArchModel micro(arch_, energy_);
@@ -66,6 +87,15 @@ formatReport(const EvalResult &result, const Workload &workload,
             << " bw_demand=" << lr.bandwidth_demand << "\n";
     }
     return oss.str();
+}
+
+bool
+bitIdentical(const EvalResult &a, const EvalResult &b)
+{
+    // The field-by-field comparisons live as operator== next to each
+    // struct definition (microarch_model.hh, sparse_analysis.hh,
+    // dense_traffic.hh), where new fields can't be missed.
+    return a == b;
 }
 
 } // namespace sparseloop

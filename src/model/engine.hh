@@ -15,6 +15,11 @@
  *       .addSkip(1, w.tensorIndex("B"), {w.tensorIndex("A")});
  *   EvalResult r = Engine(arch).evaluate(w, m, safs);
  * @endcode
+ *
+ * Evaluating many points (a DSE sweep, a mapper search)? Use the
+ * cached/batched paths instead of calling evaluate() in a loop: see
+ * model/eval_cache.hh (EvalCache, evaluateCached) and
+ * model/batch_evaluator.hh (BatchEvaluator::evaluateBatch).
  */
 
 #ifndef SPARSELOOP_MODEL_ENGINE_HH
@@ -49,20 +54,57 @@ class Engine
     EvalResult evaluateDense(const Workload &workload,
                              const Mapping &mapping) const;
 
+    /**
+     * Step 1 only (Fig. 5 dataflow modeling): the dense traffic implied
+     * by the mapping, independent of any SAF. Exposed so caches can
+     * reuse one dense analysis across many SAF specifications.
+     */
+    DenseTraffic analyzeDataflow(const Workload &workload,
+                                 const Mapping &mapping) const;
+
+    /**
+     * Steps 2-3 (sparse + micro-architecture modeling) on precomputed
+     * dense traffic. `evaluateFromDense(w, m, s, analyzeDataflow(w, m))`
+     * is exactly `evaluate(w, m, s)`; passing dense traffic from any
+     * other (workload, mapping) pair is undefined.
+     */
+    EvalResult evaluateFromDense(const Workload &workload,
+                                 const Mapping &mapping,
+                                 const SafSpec &safs,
+                                 const DenseTraffic &dense) const;
+
     const Architecture &architecture() const { return arch_; }
     const EnergyModel &energyModel() const { return energy_; }
     const EngineOptions &options() const { return options_; }
+
+    /**
+     * Evaluation-cache identity of this engine configuration
+     * (architecture structure + EngineOptions). Part of every EvalKey,
+     * so engines that would evaluate a point differently can never
+     * share a cache entry.
+     */
+    std::uint64_t signature() const { return signature_; }
 
   private:
     Architecture arch_;
     EngineOptions options_;
     EnergyModel energy_;
+    std::uint64_t signature_ = 0;
 };
 
 /** Render a compact human-readable report of an evaluation. */
 std::string formatReport(const EvalResult &result,
                          const Workload &workload,
                          const Architecture &arch);
+
+/**
+ * Whether two evaluation results are bit-identical: every scalar
+ * (compared with exact floating-point equality), every per-level
+ * record, and the retained dense/sparse traffic must match. This is
+ * the contract the evaluation cache and batch evaluator guarantee
+ * relative to uncached sequential evaluation.
+ */
+bool bitIdentical(const EvalResult &a, const EvalResult &b);
 
 } // namespace sparseloop
 

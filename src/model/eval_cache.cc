@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Sharded two-level evaluation cache implementation.
+ */
+
+#include "model/eval_cache.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace sparseloop {
+
+DenseKey
+DenseKey::of(const Engine &engine, const Workload &workload,
+             const Mapping &mapping)
+{
+    return {engine.signature(), workload.signature(),
+            mapping.signature()};
+}
+
+std::uint64_t
+DenseKey::hash() const
+{
+    std::uint64_t h = math::hashCombine(math::kHashSeed, engine);
+    h = math::hashCombine(h, workload);
+    return math::hashCombine(h, mapping);
+}
+
+EvalKey
+EvalKey::of(const Engine &engine, const Workload &workload,
+            const Mapping &mapping, const SafSpec &safs)
+{
+    return {engine.signature(), workload.signature(),
+            mapping.signature(), safs.signature()};
+}
+
+std::uint64_t
+EvalKey::hash() const
+{
+    std::uint64_t h = math::hashCombine(math::kHashSeed, engine);
+    h = math::hashCombine(h, workload);
+    h = math::hashCombine(h, mapping);
+    return math::hashCombine(h, safs);
+}
+
+EvalCache::EvalCache(EvalCacheOptions options) : options_(options)
+{
+    if (options_.shards <= 0) {
+        SL_FATAL("EvalCache needs at least one shard, got ",
+                 options_.shards);
+    }
+    shards_.reserve(static_cast<std::size_t>(options_.shards));
+    for (int i = 0; i < options_.shards; ++i) {
+        shards_.push_back(std::make_unique<Shard>());
+    }
+}
+
+EvalCache::Shard &
+EvalCache::shardFor(std::uint64_t hash) const
+{
+    return *shards_[static_cast<std::size_t>(
+        hash % static_cast<std::uint64_t>(shards_.size()))];
+}
+
+namespace {
+
+/** Shared lock-lookup-count body of both cache levels. */
+template <typename Map>
+typename Map::mapped_type
+findEntry(const Map &map, std::mutex &mutex,
+          const typename Map::key_type &key,
+          std::atomic<std::int64_t> &hits,
+          std::atomic<std::int64_t> &misses)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = map.find(key);
+    if (it == map.end()) {
+        misses.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+/** Shared lock-evict-emplace body of both cache levels. */
+template <typename Map>
+void
+storeEntry(Map &map, std::mutex &mutex, const typename Map::key_type &key,
+           typename Map::mapped_type value, std::size_t max_entries)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (max_entries > 0 && map.size() >= max_entries &&
+        map.find(key) == map.end()) {
+        // Pseudo-random replacement: probe buckets starting from a
+        // position derived from the incoming key's hash and evict the
+        // first resident entry found. Deliberately NOT erase(begin()):
+        // unordered_map iteration order correlates with insertion
+        // recency (libstdc++ inserts at the head), which would pin the
+        // oldest sweep's entries and churn every new one.
+        const std::size_t buckets = map.bucket_count();
+        std::size_t start = static_cast<std::size_t>(key.hash());
+        for (std::size_t probe = 0; probe < buckets; ++probe) {
+            std::size_t b = (start + probe) % buckets;
+            auto it = map.begin(b);
+            if (it != map.end(b)) {
+                map.erase(it->first);
+                break;
+            }
+        }
+    }
+    map.emplace(key, std::move(value));
+}
+
+} // namespace
+
+std::shared_ptr<const EvalResult>
+EvalCache::findResult(const EvalKey &key) const
+{
+    Shard &shard = shardFor(key.hash());
+    return findEntry(shard.results, shard.mutex, key, result_hits_,
+                     result_misses_);
+}
+
+void
+EvalCache::storeResult(const EvalKey &key,
+                       std::shared_ptr<const EvalResult> result)
+{
+    Shard &shard = shardFor(key.hash());
+    storeEntry(shard.results, shard.mutex, key, std::move(result),
+               options_.max_entries_per_shard);
+}
+
+std::shared_ptr<const DenseTraffic>
+EvalCache::findDense(const DenseKey &key) const
+{
+    Shard &shard = shardFor(key.hash());
+    return findEntry(shard.dense, shard.mutex, key, dense_hits_,
+                     dense_misses_);
+}
+
+void
+EvalCache::storeDense(const DenseKey &key,
+                      std::shared_ptr<const DenseTraffic> dense)
+{
+    Shard &shard = shardFor(key.hash());
+    storeEntry(shard.dense, shard.mutex, key, std::move(dense),
+               options_.max_entries_per_shard);
+}
+
+EvalCacheStats
+EvalCache::stats() const
+{
+    EvalCacheStats s;
+    s.result_hits = result_hits_.load(std::memory_order_relaxed);
+    s.result_misses = result_misses_.load(std::memory_order_relaxed);
+    s.dense_hits = dense_hits_.load(std::memory_order_relaxed);
+    s.dense_misses = dense_misses_.load(std::memory_order_relaxed);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        s.result_entries += shard->results.size();
+        s.dense_entries += shard->dense.size();
+    }
+    return s;
+}
+
+void
+EvalCache::clear()
+{
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->results.clear();
+        shard->dense.clear();
+    }
+    result_hits_.store(0, std::memory_order_relaxed);
+    result_misses_.store(0, std::memory_order_relaxed);
+    dense_hits_.store(0, std::memory_order_relaxed);
+    dense_misses_.store(0, std::memory_order_relaxed);
+}
+
+EvalResult
+evaluateCached(const Engine &engine, EvalCache &cache,
+               const Workload &workload, const Mapping &mapping,
+               const SafSpec &safs)
+{
+    return evaluateCached(engine, cache,
+                          EvalKey::of(engine, workload, mapping, safs),
+                          workload, mapping, safs);
+}
+
+EvalResult
+evaluateCached(const Engine &engine, EvalCache &cache, const EvalKey &key,
+               const Workload &workload, const Mapping &mapping,
+               const SafSpec &safs)
+{
+    if (auto hit = cache.findResult(key)) {
+        return *hit;
+    }
+    const DenseKey dense_key = key.densePrefix();
+    std::shared_ptr<const DenseTraffic> dense = cache.findDense(dense_key);
+    if (!dense) {
+        dense = std::make_shared<const DenseTraffic>(
+            engine.analyzeDataflow(workload, mapping));
+        cache.storeDense(dense_key, dense);
+    }
+    auto result = std::make_shared<const EvalResult>(
+        engine.evaluateFromDense(workload, mapping, safs, *dense));
+    cache.storeResult(key, result);
+    return *result;
+}
+
+} // namespace sparseloop

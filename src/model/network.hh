@@ -44,6 +44,13 @@ struct NetworkEval
     }
 };
 
+/** One named workload of a multi-layer evaluation (e.g. a DNN layer). */
+struct NetworkLayer
+{
+    std::string name;
+    Workload workload;
+};
+
 /**
  * Evaluate a sequence of (workload, design) pairs and aggregate.
  *
@@ -52,12 +59,6 @@ struct NetworkEval
  *        for it — per-layer dataflow selection is the caller's choice,
  *        matching the per-layer methodology of Sec. 6.1.
  */
-struct NetworkLayer
-{
-    std::string name;
-    Workload workload;
-};
-
 NetworkEval
 evaluateNetwork(const std::vector<NetworkLayer> &layers,
                 const std::function<std::tuple<Architecture, Mapping,

@@ -6,6 +6,7 @@
 #include "sparse/saf.hh"
 
 #include "common/logging.hh"
+#include "common/mathutil.hh"
 
 namespace sparseloop {
 
@@ -65,6 +66,33 @@ SafSpec::formatAt(int level, int tensor) const
         }
     }
     return nullptr;
+}
+
+
+std::uint64_t
+SafSpec::signature() const
+{
+    std::uint64_t h = math::hashCombine(math::kHashSeed, formats.size());
+    for (const FormatSaf &f : formats) {
+        h = math::hashCombine(h, static_cast<std::uint64_t>(f.level));
+        h = math::hashCombine(h, static_cast<std::uint64_t>(f.tensor));
+        h = math::hashCombine(h, f.format.signature());
+    }
+    h = math::hashCombine(h, intersections.size());
+    for (const IntersectionSaf &s : intersections) {
+        h = math::hashCombine(h, s.kind == SafKind::Skip ? 1 : 0);
+        h = math::hashCombine(h, static_cast<std::uint64_t>(s.level));
+        h = math::hashCombine(h, static_cast<std::uint64_t>(s.target));
+        h = math::hashCombine(h, s.leaders.size());
+        for (int leader : s.leaders) {
+            h = math::hashCombine(h, static_cast<std::uint64_t>(leader));
+        }
+    }
+    h = math::hashCombine(h, compute.size());
+    for (const ComputeSaf &c : compute) {
+        h = math::hashCombine(h, c.kind == SafKind::Skip ? 1 : 0);
+    }
+    return h;
 }
 
 } // namespace sparseloop

@@ -13,6 +13,15 @@
  * Gating/skipping at storage is driven by leader-follower or
  * double-sided intersections (IntersectionSaf); a double-sided
  * intersection A <-> B is modeled as the pair A <- B plus B <- A.
+ *
+ * Quickstart (CSR-compressed A, skip B on A's zeros, gate the MACs):
+ * @code
+ *   SafSpec safs;
+ *   int A = w.tensorIndex("A"), B = w.tensorIndex("B");
+ *   safs.addFormat(1, A, makeCsr())
+ *       .addSkip(1, B, {A})
+ *       .addComputeSaf(SafKind::Gate);
+ * @endcode
  */
 
 #ifndef SPARSELOOP_SPARSE_SAF_HH
@@ -88,6 +97,15 @@ struct SafSpec
 
     /** The format bound to (level, tensor), or null. */
     const TensorFormat *formatAt(int level, int tensor) const;
+
+    /**
+     * Evaluation-cache identity: hashes every format binding
+     * (level, tensor, format structure), intersection SAF, and compute
+     * SAF, in specification order. Specs listing the same SAFs in a
+     * different order hash differently (a safe cache miss, never a
+     * wrong hit).
+     */
+    std::uint64_t signature() const;
 };
 
 } // namespace sparseloop

@@ -45,6 +45,18 @@ struct ActionBreakdown
     double total() const { return actual + gated + skipped; }
     /** Actions that consume a cycle (actual + gated). */
     double occupying() const { return actual + gated; }
+
+    /** Exact (bitwise double) equality; feeds the cache's bit-identity
+     *  contract — keep in sync with the field list above. */
+    bool operator==(const ActionBreakdown &o) const
+    {
+        return actual == o.actual && gated == o.gated &&
+               skipped == o.skipped;
+    }
+    bool operator!=(const ActionBreakdown &o) const
+    {
+        return !(*this == o);
+    }
 };
 
 /** Sparse traffic of one tensor at one storage level. */
@@ -74,6 +86,24 @@ struct TensorLevelSparse
     {
         return tile_data_words + tile_metadata_words;
     }
+
+    /** Exact equality over every action/footprint field. */
+    bool operator==(const TensorLevelSparse &o) const
+    {
+        return reads == o.reads && fills == o.fills &&
+               updates == o.updates && acc_reads == o.acc_reads &&
+               drains == o.drains && meta_reads == o.meta_reads &&
+               meta_fills == o.meta_fills &&
+               meta_updates == o.meta_updates &&
+               tile_data_words == o.tile_data_words &&
+               tile_metadata_words == o.tile_metadata_words &&
+               tile_worst_words == o.tile_worst_words &&
+               tile_dense_words == o.tile_dense_words;
+    }
+    bool operator!=(const TensorLevelSparse &o) const
+    {
+        return !(*this == o);
+    }
 };
 
 /** Result of the sparse modeling step. */
@@ -90,6 +120,17 @@ struct SparseTraffic
     {
         return levels[level][tensor];
     }
+
+    /** Exact equality over every record (bit-identity contract). */
+    bool operator==(const SparseTraffic &o) const
+    {
+        return computes == o.computes &&
+               effectual_computes == o.effectual_computes &&
+               instances == o.instances &&
+               compute_instances == o.compute_instances &&
+               levels == o.levels;
+    }
+    bool operator!=(const SparseTraffic &o) const { return !(*this == o); }
 };
 
 class SparseAnalysis

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/mathutil.hh"
 
 namespace sparseloop {
 
@@ -140,6 +141,35 @@ Workload::project(int t, const Point &iter_point) const
         p[r] = coord;
     }
     return p;
+}
+
+
+std::uint64_t
+Workload::signature() const
+{
+    // The workload's display name is decorative (results never depend
+    // on it), so identically-shaped workloads named differently — e.g.
+    // a network's repeated layers — share cache entries.
+    std::uint64_t h = math::hashCombine(math::kHashSeed, dims_.size());
+    for (const WorkloadDim &d : dims_) {
+        h = math::hashString(h, d.name);
+        h = math::hashCombine(h, static_cast<std::uint64_t>(d.bound));
+    }
+    h = math::hashCombine(h, tensors_.size());
+    for (const DataSpace &t : tensors_) {
+        h = math::hashString(h, t.name);
+        h = math::hashCombine(h, t.is_output ? 1 : 0);
+        h = math::hashCombine(h, t.projection.size());
+        for (const RankProjection &rank : t.projection) {
+            h = math::hashCombine(h, rank.size());
+            for (const ProjectionTerm &term : rank) {
+                h = math::hashCombine(h, static_cast<std::uint64_t>(term.dim));
+                h = math::hashCombine(h, static_cast<std::uint64_t>(term.coef));
+            }
+        }
+        h = math::hashCombine(h, t.density ? t.density->signature() : 0);
+    }
+    return h;
 }
 
 } // namespace sparseloop

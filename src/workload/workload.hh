@@ -122,6 +122,17 @@ class Workload
         setDensity(tensorIndex(tensor_name), std::move(model));
     }
 
+    /**
+     * Evaluation-cache identity (the "workload id" of an EvalKey):
+     * hashes the dimension bounds, tensor projections, and each
+     * tensor's density-model signature — but not the decorative
+     * workload name, so identically-shaped workloads share cached
+     * results. Workloads with equal signatures evaluate identically
+     * under any (mapping, SAF) pair. Recomputed on each call; callers
+     * in hot loops should hoist it.
+     */
+    std::uint64_t signature() const;
+
   private:
     std::string name_;
     std::vector<WorkloadDim> dims_;

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the batch evaluator: batched results must be bit-identical
+ * to uncached sequential evaluation at every thread count, duplicates
+ * must deduplicate, dense prefixes must group, caches must be shared,
+ * and failures must propagate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mapper/mapper.hh"
+#include "model/batch_evaluator.hh"
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace {
+
+Architecture
+batchArch()
+{
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    dram.bandwidth_words_per_cycle = 16.0;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = 64 * 1024;
+    buf.bandwidth_words_per_cycle = 32.0;
+    buf.fanout = 16;
+    return Architecture("batch-test", {dram, buf}, ComputeSpec{});
+}
+
+/** A small (mappings x SAF specs) sweep over one workload. */
+struct Sweep
+{
+    Workload workload;
+    std::vector<Mapping> mappings;
+    std::vector<SafSpec> safs;
+    std::vector<EvalPoint> points;
+
+    explicit Sweep(const Architecture &arch)
+        : workload(makeMatmul(32, 32, 32))
+    {
+        bindUniformDensities(workload, {{"A", 0.2}, {"B", 0.2}});
+        for (std::int64_t spatial : {16, 8, 4}) {
+            mappings.push_back(MappingBuilder(workload, arch)
+                                   .temporal(0, "M", 32)
+                                   .spatial(1, "N", spatial)
+                                   .temporal(1, "N", 32 / spatial)
+                                   .temporal(1, "K", 32)
+                                   .buildComplete());
+        }
+        int A = workload.tensorIndex("A");
+        int B = workload.tensorIndex("B");
+        for (SafKind kind : {SafKind::Skip, SafKind::Gate}) {
+            for (const TensorFormat &fmt : {makeCsr(), makeCoo(2)}) {
+                SafSpec spec;
+                spec.addFormat(1, A, fmt);
+                if (kind == SafKind::Skip) {
+                    spec.addSkip(1, B, {A});
+                } else {
+                    spec.addGate(1, B, {A});
+                }
+                safs.push_back(std::move(spec));
+            }
+        }
+        for (const Mapping &m : mappings) {
+            for (const SafSpec &s : safs) {
+                points.push_back({&workload, &m, &s});
+            }
+        }
+    }
+};
+
+TEST(BatchEvaluator, MatchesSequentialAcrossThreadCounts)
+{
+    Architecture arch = batchArch();
+    Sweep sweep(arch);
+    Engine engine(arch);
+    std::vector<EvalResult> expected;
+    for (const EvalPoint &p : sweep.points) {
+        expected.push_back(
+            engine.evaluate(*p.workload, *p.mapping, *p.safs));
+    }
+    for (int threads : {1, 2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        BatchEvaluatorOptions opts;
+        opts.num_threads = threads;
+        BatchEvaluator evaluator(engine, nullptr, opts);
+        std::vector<EvalResult> results =
+            evaluator.evaluateBatch(sweep.points);
+        ASSERT_EQ(results.size(), expected.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_TRUE(bitIdentical(expected[i], results[i]))
+                << "point " << i;
+        }
+    }
+}
+
+TEST(BatchEvaluator, DeduplicatesAndGroupsByDensePrefix)
+{
+    Architecture arch = batchArch();
+    Sweep sweep(arch);
+    // Submit the sweep twice over: half the points are duplicates.
+    std::vector<EvalPoint> doubled = sweep.points;
+    doubled.insert(doubled.end(), sweep.points.begin(),
+                   sweep.points.end());
+
+    BatchEvaluator evaluator{Engine(arch)};
+    BatchStats stats;
+    std::vector<EvalResult> results =
+        evaluator.evaluateBatch(doubled, &stats);
+    EXPECT_EQ(stats.points,
+              static_cast<std::int64_t>(doubled.size()));
+    EXPECT_EQ(stats.unique_points,
+              static_cast<std::int64_t>(sweep.points.size()));
+    // One dense group per distinct mapping: the SAF axis shares Step 1.
+    EXPECT_EQ(stats.dense_groups,
+              static_cast<std::int64_t>(sweep.mappings.size()));
+    // Duplicate inputs receive bit-identical outputs.
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+        EXPECT_TRUE(bitIdentical(results[i],
+                                 results[i + sweep.points.size()]));
+    }
+    // The cache only ever computed the unique points.
+    EvalCacheStats cs = evaluator.cache().stats();
+    EXPECT_EQ(cs.result_entries, sweep.points.size());
+    EXPECT_EQ(cs.dense_entries, sweep.mappings.size());
+}
+
+TEST(BatchEvaluator, SecondBatchIsServedFromCache)
+{
+    Architecture arch = batchArch();
+    Sweep sweep(arch);
+    BatchEvaluator evaluator{Engine(arch)};
+    std::vector<EvalResult> first =
+        evaluator.evaluateBatch(sweep.points);
+    EvalCacheStats before = evaluator.cache().stats();
+    std::vector<EvalResult> second =
+        evaluator.evaluateBatch(sweep.points);
+    EvalCacheStats after = evaluator.cache().stats();
+    EXPECT_EQ(after.result_misses, before.result_misses);
+    EXPECT_EQ(after.result_hits - before.result_hits,
+              static_cast<std::int64_t>(sweep.points.size()));
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_TRUE(bitIdentical(first[i], second[i]));
+    }
+}
+
+TEST(BatchEvaluator, SingleEvaluateSharesTheCache)
+{
+    Architecture arch = batchArch();
+    Sweep sweep(arch);
+    BatchEvaluator evaluator{Engine(arch)};
+    EvalResult single = evaluator.evaluate(
+        sweep.workload, sweep.mappings[0], sweep.safs[0]);
+    // The batch then hits the single-point entry.
+    EvalCacheStats before = evaluator.cache().stats();
+    std::vector<EvalResult> results =
+        evaluator.evaluateBatch(sweep.points);
+    EvalCacheStats after = evaluator.cache().stats();
+    EXPECT_GT(after.result_hits, before.result_hits);
+    EXPECT_TRUE(bitIdentical(single, results[0]));
+}
+
+TEST(BatchEvaluator, SharedCacheLinksMapperAndBatch)
+{
+    Architecture arch = batchArch();
+    Sweep sweep(arch);
+    auto cache = std::make_shared<EvalCache>();
+    BatchEvaluator evaluator(Engine(arch), cache);
+    evaluator.evaluateBatch(sweep.points);
+
+    // A mapper over the same workload/SAFs reuses the shared cache; a
+    // batch re-run after the search stays bit-identical.
+    MapperOptions opts;
+    opts.samples = 50;
+    opts.cache = cache;
+    Mapper mapper(sweep.workload, arch, sweep.safs[0], opts);
+    MapperResult searched = mapper.search();
+    ASSERT_TRUE(searched.found);
+    MapperResult plain_opts_result =
+        Mapper(sweep.workload, arch, sweep.safs[0],
+               [&] {
+                   MapperOptions p = opts;
+                   p.cache = nullptr;
+                   return p;
+               }())
+            .search();
+    EXPECT_TRUE(bitIdentical(searched.eval, plain_opts_result.eval));
+
+    std::vector<EvalResult> again =
+        evaluator.evaluateBatch(sweep.points);
+    Engine engine(arch);
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+        const EvalPoint &p = sweep.points[i];
+        EXPECT_TRUE(bitIdentical(
+            again[i],
+            engine.evaluate(*p.workload, *p.mapping, *p.safs)));
+    }
+}
+
+TEST(BatchEvaluator, NullPointComponentsAreFatal)
+{
+    Architecture arch = batchArch();
+    Sweep sweep(arch);
+    BatchEvaluator evaluator{Engine(arch)};
+    std::vector<EvalPoint> points{{&sweep.workload, nullptr, nullptr}};
+    EXPECT_THROW(evaluator.evaluateBatch(points), FatalError);
+}
+
+TEST(BatchEvaluator, MalformedMappingPropagatesFromWorkers)
+{
+    Architecture arch = batchArch();
+    Sweep sweep(arch);
+    // A nest whose loop bounds don't cover the workload dims.
+    Mapping broken(std::vector<LevelNest>{
+        LevelNest{{Loop{0, 7, false}}, {}}, LevelNest{{}, {}}});
+    std::vector<EvalPoint> points = sweep.points;
+    points.push_back({&sweep.workload, &broken, &sweep.safs[0]});
+    BatchEvaluatorOptions opts;
+    opts.num_threads = 4;
+    BatchEvaluator evaluator(Engine(arch), nullptr, opts);
+    EXPECT_THROW(evaluator.evaluateBatch(points), FatalError);
+}
+
+TEST(BatchEvaluator, ThreadCountClampsToJobs)
+{
+    BatchEvaluatorOptions opts;
+    opts.num_threads = 16;
+    BatchEvaluator evaluator{Engine(batchArch()), nullptr, opts};
+    EXPECT_EQ(evaluator.threadCount(3), 3);
+    EXPECT_EQ(evaluator.threadCount(100), 16);
+    EXPECT_EQ(evaluator.threadCount(0), 1);
+}
+
+} // namespace
+} // namespace sparseloop
