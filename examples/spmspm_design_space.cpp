@@ -77,10 +77,13 @@ main()
 
             // Let the mapper search the constrained mapspace too; the
             // shared cache reuses each candidate's dense analysis
-            // across the scenario's SAF variants.
+            // across the scenario's SAF variants. Hybrid search spends
+            // part of the budget refining the warmup's best candidate
+            // through its mapspace-IR neighborhood.
             MapperOptions opts;
             opts.samples = 400;
             opts.objective = Objective::Edp;
+            opts.strategy = SearchStrategyKind::Hybrid;
             opts.cache = cache;
             MapperResult searched =
                 ParallelMapper(w, designs[i].arch, designs[i].safs, opts)

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build everything (library, 27 test
-# binaries, 18 benches, 5 examples), run the full CTest suite, and —
-# when doxygen is installed — run the API-docs check (warnings in
-# src/model and src/mapper are errors, mirroring the CI docs job).
+# Tier-1 verification: configure, build everything (library, test
+# binaries, benches, examples), run the full CTest suite, smoke-run
+# the search-strategy ablation, and — when doxygen is installed — run
+# the API-docs check (warnings in src/model and src/mapper are errors,
+# mirroring the CI docs job). A second explicit Release (-O2/NDEBUG)
+# build-and-ctest pass runs alongside the default config; skip it with
+# SPARSELOOP_SKIP_RELEASE=1.
 # Usage: scripts/verify.sh [build-dir]
 set -euo pipefail
 
@@ -12,6 +15,18 @@ build_dir="${1:-${repo_root}/build}"
 cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure -j
+
+echo "== search-strategy ablation smoke (valid-rate ~= 1.0 under constraints) =="
+"${build_dir}/bench/ablation_search_strategies"
+
+if [[ "${SPARSELOOP_SKIP_RELEASE:-0}" != "1" ]]; then
+    echo "== Release (-O2/NDEBUG) build-and-ctest =="
+    release_dir="${build_dir}-release"
+    cmake -B "${release_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release
+    cmake --build "${release_dir}" -j
+    ctest --test-dir "${release_dir}" --output-on-failure -j
+fi
 
 if command -v doxygen >/dev/null 2>&1; then
     echo "== docs check (doxygen, warnings are errors) =="

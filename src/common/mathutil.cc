@@ -149,6 +149,111 @@ divisors(std::int64_t n)
     return low;
 }
 
+std::int64_t
+mulSat(std::int64_t a, std::int64_t b)
+{
+    SL_ASSERT(a >= 0 && b >= 0, "mulSat of negative operands");
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+    if (a == 0 || b == 0) {
+        return 0;
+    }
+    if (a > kMax / b) {
+        return kMax;
+    }
+    return a * b;
+}
+
+std::int64_t
+factorial(int n)
+{
+    SL_ASSERT(n >= 0, "factorial of negative number ", n);
+    std::int64_t f = 1;
+    for (int i = 2; i <= n; ++i) {
+        f = mulSat(f, i);
+    }
+    return f;
+}
+
+std::vector<int>
+nthPermutation(int n, std::int64_t index)
+{
+    SL_ASSERT(n >= 0, "permutation of negative-size set");
+    SL_ASSERT(index >= 0 && index < factorial(n),
+              "permutation index ", index, " out of range for n=", n);
+    std::vector<int> pool(n);
+    for (int i = 0; i < n; ++i) {
+        pool[i] = i;
+    }
+    std::vector<int> perm;
+    perm.reserve(n);
+    std::int64_t rest = index;
+    for (int k = n; k > 0; --k) {
+        std::int64_t block = factorial(k - 1);
+        std::int64_t digit = rest / block;
+        rest %= block;
+        perm.push_back(pool[static_cast<std::size_t>(digit)]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(digit));
+    }
+    return perm;
+}
+
+std::vector<std::int64_t>
+mixedRadixDecode(std::int64_t index,
+                 const std::vector<std::int64_t> &radices)
+{
+    SL_ASSERT(index >= 0, "negative mixed-radix index");
+    std::vector<std::int64_t> digits(radices.size(), 0);
+    for (std::size_t i = 0; i < radices.size(); ++i) {
+        SL_ASSERT(radices[i] >= 1, "mixed radix must be positive");
+        digits[i] = index % radices[i];
+        index /= radices[i];
+    }
+    SL_ASSERT(index == 0, "mixed-radix index exceeds the space");
+    return digits;
+}
+
+std::vector<std::pair<std::int64_t, int>>
+primeFactorization(std::int64_t n)
+{
+    SL_ASSERT(n >= 1, "factorization of non-positive number ", n);
+    std::vector<std::pair<std::int64_t, int>> factors;
+    for (std::int64_t p = 2; p * p <= n; ++p) {
+        if (n % p == 0) {
+            int e = 0;
+            while (n % p == 0) {
+                n /= p;
+                ++e;
+            }
+            factors.emplace_back(p, e);
+        }
+    }
+    if (n > 1) {
+        factors.emplace_back(n, 1);
+    }
+    return factors;
+}
+
+std::int64_t
+orderedFactorizationCount(std::int64_t n, int slots)
+{
+    SL_ASSERT(n >= 1, "factorization count of non-positive number ", n);
+    if (slots <= 0) {
+        return n == 1 ? 1 : 0;
+    }
+    std::int64_t count = 1;
+    for (const auto &[prime, exp] : primeFactorization(n)) {
+        (void)prime;
+        // C(exp + slots - 1, slots - 1) by incremental products, kept
+        // exact in int64 until saturation.
+        std::int64_t c = 1;
+        for (int i = 1; i <= exp; ++i) {
+            c = mulSat(c, slots - 1 + i) / i;
+        }
+        count = mulSat(count, c);
+    }
+    return count;
+}
+
 double
 relativeError(double a, double b, double eps)
 {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sparseloop {
@@ -61,6 +62,50 @@ std::int64_t ceilDiv(std::int64_t a, std::int64_t b);
 
 /** All positive divisors of n in increasing order; requires n >= 1. */
 std::vector<std::int64_t> divisors(std::int64_t n);
+
+/**
+ * @name Index-space helpers
+ * Building blocks for enumerable/indexable search spaces (the mapper's
+ * MapSpace IR): factorials, permutation unranking, mixed-radix index
+ * decomposition, and counting of ordered factorizations.
+ */
+/// @{
+
+/** n! as a saturating int64 (exact for n <= 20, INT64_MAX beyond). */
+std::int64_t factorial(int n);
+
+/**
+ * The @p index -th permutation of {0, 1, ..., n-1} in lexicographic
+ * order (Lehmer-code unranking). Requires 0 <= index < n!.
+ */
+std::vector<int> nthPermutation(int n, std::int64_t index);
+
+/**
+ * Decompose a flat index into mixed-radix digits: the result r
+ * satisfies index == r[0] + radices[0]*(r[1] + radices[1]*(r[2]...)),
+ * i.e., r[0] is the fastest-varying digit. Requires every radix >= 1
+ * and 0 <= index < product(radices).
+ */
+std::vector<std::int64_t>
+mixedRadixDecode(std::int64_t index,
+                 const std::vector<std::int64_t> &radices);
+
+/** Prime factorization of n >= 1 as (prime, exponent) pairs. */
+std::vector<std::pair<std::int64_t, int>>
+primeFactorization(std::int64_t n);
+
+/**
+ * Number of ways to write n >= 1 as an ordered product of @p slots
+ * factors (1s allowed): prod_i C(e_i + slots - 1, slots - 1) over the
+ * prime exponents e_i. Saturates at INT64_MAX. Zero slots: 1 when
+ * n == 1, else 0.
+ */
+std::int64_t orderedFactorizationCount(std::int64_t n, int slots);
+
+/** a * b with saturation at INT64_MAX; requires a, b >= 0. */
+std::int64_t mulSat(std::int64_t a, std::int64_t b);
+
+/// @}
 
 /** Relative error |a - b| / max(|b|, eps). */
 double relativeError(double a, double b, double eps = 1e-12);

@@ -1,15 +1,16 @@
 /**
  * @file
- * Randomized mapspace search implementation.
+ * Mapspace-search driver: pulls candidate batches from a
+ * `SearchStrategy`, evaluates them through `BatchEvaluator`, and
+ * reduces deterministically to the best valid mapping.
  */
 
 #include "mapper/mapper.hh"
 
 #include <algorithm>
-#include <random>
+#include <limits>
 
 #include "common/logging.hh"
-#include "common/mathutil.hh"
 
 namespace sparseloop {
 
@@ -17,13 +18,10 @@ Mapper::Mapper(const Workload &workload, const Architecture &arch,
                const SafSpec &safs, MapperOptions options,
                MapspaceConstraints constraints)
     : workload_(workload), arch_(arch), safs_(safs), options_(options),
-      constraints_(std::move(constraints))
+      constraints_(std::move(constraints)),
+      space_(std::make_unique<MapSpace>(workload_, arch_, constraints_,
+                                        options_.mapspace))
 {
-    if (!constraints_.levels.empty() &&
-        static_cast<int>(constraints_.levels.size()) !=
-            arch_.levelCount()) {
-        SL_FATAL("constraint count must match the level count");
-    }
 }
 
 double
@@ -37,150 +35,92 @@ Mapper::objectiveValue(const EvalResult &eval) const
     SL_PANIC("unknown objective");
 }
 
-std::optional<Mapping>
-Mapper::sampleMapping(std::uint64_t seed) const
-{
-    std::mt19937_64 rng(seed);
-    const int S = arch_.levelCount();
-    const int D = workload_.dimCount();
-
-    // 1. Split each dimension's bound into per-level factors by
-    //    repeatedly peeling random divisors from the innermost level
-    //    upward.
-    std::vector<std::vector<std::int64_t>> factors(
-        S, std::vector<std::int64_t>(D, 1));
-    for (int d = 0; d < D; ++d) {
-        std::int64_t remaining = workload_.dims()[d].bound;
-        for (int l = S - 1; l >= 1 && remaining > 1; --l) {
-            auto divs = math::divisors(remaining);
-            std::uniform_int_distribution<std::size_t> pick(
-                0, divs.size() - 1);
-            std::int64_t f = divs[pick(rng)];
-            factors[l][d] = f;
-            remaining /= f;
-        }
-        factors[0][d] = remaining;
-    }
-
-    // 2. Per level: choose loop order and spatial assignment.
-    std::vector<LevelNest> nests(S);
-    for (int l = 0; l < S; ++l) {
-        const LevelConstraint *con =
-            constraints_.levels.empty() ? nullptr
-                                        : &constraints_.levels[l];
-        std::vector<int> dims;
-        for (int d = 0; d < D; ++d) {
-            if (factors[l][d] > 1) {
-                dims.push_back(d);
-            }
-        }
-        if (con && !con->loop_order.empty()) {
-            // Restrict to, and order by, the constrained sequence.
-            std::vector<int> ordered;
-            for (int d : con->loop_order) {
-                if (factors[l][d] > 1) {
-                    ordered.push_back(d);
-                }
-            }
-            // Any leftover factored dim not in the order makes the
-            // candidate infeasible under the constraint.
-            for (int d : dims) {
-                if (std::find(ordered.begin(), ordered.end(), d) ==
-                    ordered.end()) {
-                    return std::nullopt;
-                }
-            }
-            dims = ordered;
-        } else {
-            std::shuffle(dims.begin(), dims.end(), rng);
-        }
-
-        // Spatial choice: with fanout > 1, try to make one allowed dim
-        // spatial.
-        int spatial_dim = -1;
-        if (arch_.level(l).fanout > 1) {
-            std::vector<int> candidates;
-            for (int d : dims) {
-                bool allowed = !con || con->spatial_dims.empty() ||
-                    std::find(con->spatial_dims.begin(),
-                              con->spatial_dims.end(), d) !=
-                        con->spatial_dims.end();
-                if (allowed && factors[l][d] <= arch_.level(l).fanout) {
-                    candidates.push_back(d);
-                }
-            }
-            if (!candidates.empty()) {
-                std::uniform_int_distribution<std::size_t> pick(
-                    0, candidates.size() - 1);
-                spatial_dim = candidates[pick(rng)];
-            }
-        }
-        for (int d : dims) {
-            nests[l].loops.push_back(
-                {d, factors[l][d], d == spatial_dim});
-        }
-        if (con && !con->keep.empty()) {
-            nests[l].keep.assign(workload_.tensorCount(), false);
-            for (int t : con->keep) {
-                nests[l].keep[t] = true;
-            }
-        }
-    }
-    return Mapping(std::move(nests));
-}
-
 MapperResult
 Mapper::search() const
 {
-    return searchShard(0, options_.samples).result;
+    return searchWithThreads(1);
 }
 
-ShardOutcome
-Mapper::searchShard(int begin, int end) const
+MapperResult
+Mapper::searchWithThreads(int num_threads) const
 {
-    Engine engine(arch_);
-    // The engine, workload, and SAF spec are fixed for the whole
-    // search; only the candidate mapping's signature varies per sample.
-    EvalKey key;
-    if (options_.cache) {
-        key.engine = engine.signature();
-        key.workload = workload_.signature();
-        key.safs = safs_.signature();
+    MapperResult result;
+    result.mapspace_size = space_->size();
+    if (space_->empty()) {
+        SL_WARN("mapper: the constraints prune the mapspace to ",
+                "nothing; no candidate can be generated");
+        result.status = SearchStatus::kEmptyMapSpace;
+        result.strategy = "none";
+        return result;
     }
-    ShardOutcome out;
-    MapperResult &best = out.result;
-    for (int i = begin; i < end; ++i) {
-        auto candidate = sampleMapping(options_.seed + i);
-        if (!candidate) {
-            continue;
+
+    auto strategy = makeSearchStrategy(
+        options_.strategy, *space_, options_.seed, options_.samples,
+        options_.hybrid_warmup);
+    result.strategy = strategy->name();
+
+    BatchEvaluatorOptions bopts;
+    bopts.num_threads = num_threads;
+    BatchEvaluator evaluator(Engine(arch_), options_.cache, bopts);
+
+    const std::int64_t budget = options_.samples;
+    const int batch_max = std::max(1, options_.batch_size);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    double best_obj = kInf;
+    std::int64_t best_index = -1;
+
+    while (result.candidates_evaluated < budget) {
+        const int want = static_cast<int>(std::min<std::int64_t>(
+            batch_max, budget - result.candidates_evaluated));
+        std::vector<SearchCandidate> batch = strategy->propose(want);
+        if (batch.empty()) {
+            break;  // strategy exhausted (e.g. full exhaustive pass)
         }
-        ++best.candidates_evaluated;
-        EvalResult eval;
-        try {
-            if (options_.cache) {
-                key.mapping = candidate->signature();
-                eval = evaluateCached(engine, *options_.cache, key,
-                                      workload_, *candidate, safs_);
-            } else {
-                eval = engine.evaluate(workload_, *candidate, safs_);
+
+        std::vector<const Mapping *> mappings;
+        mappings.reserve(batch.size());
+        for (const SearchCandidate &c : batch) {
+            mappings.push_back(&c.mapping);
+        }
+        std::vector<EvalResult> evals =
+            evaluator.evaluateMappings(workload_, mappings, safs_);
+
+        std::vector<double> objectives(batch.size(), kInf);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            ++result.candidates_evaluated;
+            if (!evals[i].valid) {
+                continue;
             }
-        } catch (const FatalError &) {
-            continue;  // malformed candidate (e.g. fanout violation)
+            ++result.candidates_valid;
+            const double obj = objectiveValue(evals[i]);
+            objectives[i] = obj;
+            // (objective, proposal index) lexicographic minimum: the
+            // same winner a sequential first-strictly-better scan
+            // keeps, independent of batch size and thread count.
+            if (!result.found || obj < best_obj ||
+                (obj == best_obj && batch[i].index < best_index)) {
+                result.found = true;
+                result.mapping = batch[i].mapping;
+                result.eval = evals[i];
+                best_obj = obj;
+                best_index = batch[i].index;
+            }
         }
-        if (!eval.valid) {
-            continue;
-        }
-        ++best.candidates_valid;
-        double obj = objectiveValue(eval);
-        if (!best.found || obj < out.best_objective) {
-            best.found = true;
-            best.mapping = *candidate;
-            best.eval = eval;
-            out.best_objective = obj;
-            out.best_index = i;
+        strategy->observe(batch, objectives);
+    }
+
+    if (result.found) {
+        result.status = SearchStatus::kFound;
+    } else {
+        result.status = SearchStatus::kNoValidCandidate;
+        if (result.candidates_evaluated > 0) {
+            SL_WARN("mapper: all ", result.candidates_evaluated,
+                    " evaluated candidates were invalid (strategy ",
+                    result.strategy, "); the architecture likely ",
+                    "cannot hold any tiling of this workload");
         }
     }
-    return out;
+    return result;
 }
 
 } // namespace sparseloop

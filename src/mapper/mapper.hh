@@ -2,10 +2,21 @@
  * @file
  * Mapspace search (Sec. 5.1 "mapspace constraints"): characterizing a
  * design properly requires finding its best mapping for each workload.
- * The mapper enumerates/samples tilings (per-dimension factor splits
- * across levels), loop orders, and spatial assignments subject to
- * user constraints, evaluates each candidate with the engine, and
- * returns the best valid mapping under the chosen objective.
+ *
+ * The search is layered:
+ *  - `MapSpace` (mapper/mapspace.hh) — the IR: constraint-pruned
+ *    tiling / permutation / spatial / keep axes with size accounting.
+ *  - `SearchStrategy` (mapper/search_strategy.hh) — candidate
+ *    generation: random, exhaustive, or hybrid refinement.
+ *  - `Mapper` (this file) — the driver: pulls candidate batches from
+ *    the strategy, evaluates them through `BatchEvaluator` (dedupe,
+ *    dense-prefix grouping, optional shared `EvalCache`, worker pool),
+ *    and reduces to the best valid mapping under the objective with a
+ *    deterministic (objective, proposal index) tie-break.
+ *
+ * `ParallelMapper` is the same driver with a multi-threaded evaluation
+ * pool; its results are bit-identical to the sequential `Mapper` at
+ * every thread count, for every strategy.
  */
 
 #ifndef SPARSELOOP_MAPPER_MAPPER_HH
@@ -14,8 +25,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
-#include "model/eval_cache.hh"
+#include "mapper/search_strategy.hh"
+#include "model/batch_evaluator.hh"
 
 namespace sparseloop {
 
@@ -27,89 +40,100 @@ enum class Objective
     Energy,  ///< pJ
 };
 
-/** Per-level search constraints. */
-struct LevelConstraint
-{
-    /**
-     * Required relative order of dimensions for the temporal loops at
-     * this level (outer first); empty = any order. Dimensions absent
-     * from the list may not appear at this level.
-     */
-    std::vector<int> loop_order;
-    /** Dimensions allowed to be spatial at this level; empty = none. */
-    std::vector<int> spatial_dims;
-    /** Tensors kept at this level; empty = keep all. */
-    std::vector<int> keep;
-};
-
-/** Mapspace constraints: one entry per storage level (or empty). */
-struct MapspaceConstraints
-{
-    std::vector<LevelConstraint> levels;
-};
-
 struct MapperOptions
 {
     Objective objective = Objective::Edp;
-    /** Random candidates to evaluate. */
+    /** Candidate budget: proposals evaluated before stopping (an
+     *  exhaustive search may finish earlier). */
     int samples = 2000;
     std::uint64_t seed = 0xC0FFEE;
+    /** Strategy selection; Auto upgrades to exhaustive whenever the
+     *  pruned mapspace fits within `samples`. */
+    SearchStrategyKind strategy = SearchStrategyKind::Auto;
+    /**
+     * Candidates evaluated per batch. Affects wall-clock only, never
+     * the result: a strategy's proposal sequence and the
+     * (objective, index) reduction are batch-size independent.
+     */
+    int batch_size = 256;
+    /** HybridSearch warmup/restart window; 0 = samples / 4. */
+    int hybrid_warmup = 0;
+    /** Axis materialization limits and opt-in bypass exploration. */
+    MapSpaceOptions mapspace;
     /**
      * Optional shared evaluation cache. When set, every candidate
-     * evaluation goes through `evaluateCached`, so repeated searches
-     * (restarts with the same seed), concurrent shards of a
-     * `ParallelMapper`, and sibling design points sharing tile shapes
-     * reuse results and Step-1 dense analyses. The search outcome is
-     * bit-identical with or without a cache (up to 64-bit signature
-     * collisions between distinct candidates, ~2^-64 per pair). Keys
-     * cover the engine configuration, so one cache can serve searches
-     * over different architectures without cross-talk.
+     * evaluation goes through it, so repeated searches (restarts with
+     * the same seed), concurrent evaluation workers, and sibling
+     * design points sharing tile shapes reuse results and Step-1 dense
+     * analyses. The search outcome is bit-identical with or without a
+     * cache (up to 64-bit signature collisions between distinct
+     * candidates, ~2^-64 per pair). Keys cover the engine
+     * configuration, so one cache can serve searches over different
+     * architectures without cross-talk.
      */
     std::shared_ptr<EvalCache> cache;
+};
+
+/** Why a search did (not) produce a mapping. */
+enum class SearchStatus
+{
+    /** A valid mapping was found. */
+    kFound,
+    /** Candidates were evaluated but every one was invalid (e.g.
+     *  capacity overflow at every tiling the budget reached). */
+    kNoValidCandidate,
+    /** The constraints prune the mapspace to nothing; no candidate
+     *  was ever generated. */
+    kEmptyMapSpace,
 };
 
 /** Search outcome. */
 struct MapperResult
 {
     bool found = false;
+    SearchStatus status = SearchStatus::kNoValidCandidate;
     Mapping mapping;
     EvalResult eval;
+    /** Candidates proposed and evaluated (never exceeds the budget). */
     std::int64_t candidates_evaluated = 0;
+    /** Evaluated candidates that were valid. */
     std::int64_t candidates_valid = 0;
-};
-
-/**
- * Outcome of searching one contiguous shard [begin, end) of the sample
- * index space, carrying enough context (objective value and winning
- * sample index) for a deterministic cross-shard reduction.
- */
-struct ShardOutcome
-{
-    MapperResult result;
-    double best_objective = 0.0;
-    /** Sample index of the shard's best candidate; -1 when none. */
-    int best_index = -1;
+    /** Name of the strategy that ran ("random", "exhaustive", ...). */
+    std::string strategy;
+    /** Size report of the pruned mapspace the search ran over. */
+    MapSpaceSize mapspace_size;
 };
 
 class Mapper
 {
   public:
+    /**
+     * Validates @p constraints up front (level count, index ranges,
+     * duplicates — fatal with a message naming the offending level).
+     */
     Mapper(const Workload &workload, const Architecture &arch,
            const SafSpec &safs, MapperOptions options = {},
            MapspaceConstraints constraints = {});
 
-    /** Run the randomized search. */
+    /** Run the search with a single evaluation worker. */
     MapperResult search() const;
 
     /**
-     * Search sample indices [begin, end). Thread-safe: callers may run
-     * disjoint shards concurrently on the same Mapper, then merge the
-     * outcomes with the (objective, sample index) lexicographic rule to
-     * recover exactly the sequential search() result.
+     * Run the search with @p num_threads evaluation workers (0 = all
+     * cores). The result is bit-identical to `search()` for every
+     * strategy: candidates are proposed in the same order and the
+     * batched evaluation is bit-identical to sequential evaluation.
      */
-    ShardOutcome searchShard(int begin, int end) const;
+    MapperResult searchWithThreads(int num_threads) const;
 
     const MapperOptions &options() const { return options_; }
+    const MapspaceConstraints &constraints() const
+    {
+        return constraints_;
+    }
+
+    /** The constraint-pruned mapspace the search runs over. */
+    const MapSpace &mapspace() const { return *space_; }
 
     /** Objective value of an evaluation under the configured metric. */
     double objectiveValue(const EvalResult &eval) const;
@@ -120,9 +144,7 @@ class Mapper
     const SafSpec &safs_;
     MapperOptions options_;
     MapspaceConstraints constraints_;
-
-    /** Draw one random candidate mapping (may be invalid). */
-    std::optional<Mapping> sampleMapping(std::uint64_t seed) const;
+    std::unique_ptr<MapSpace> space_;
 };
 
 } // namespace sparseloop

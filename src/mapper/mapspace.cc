@@ -1,0 +1,815 @@
+/**
+ * @file
+ * Mapspace IR implementation: constraint pruning, axis
+ * materialization, exact size accounting, and the three access
+ * patterns (seeded sampling, indexed enumeration, coordinate
+ * neighborhoods).
+ */
+
+#include "mapper/mapspace.hh"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace sparseloop {
+
+namespace {
+
+/** First duplicate value in a list, or -1 when all unique. */
+int
+firstDuplicate(const std::vector<int> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        for (std::size_t j = i + 1; j < values.size(); ++j) {
+            if (values[i] == values[j]) {
+                return values[i];
+            }
+        }
+    }
+    return -1;
+}
+
+void
+validateIndexList(const std::vector<int> &values, int limit, int level,
+                  const char *axis, const char *what)
+{
+    for (int v : values) {
+        if (v < 0 || v >= limit) {
+            SL_FATAL("level ", level, " constraint: ", axis,
+                     " references ", what, " ", v,
+                     " but valid indices are [0, ", limit, ")");
+        }
+    }
+    int dup = firstDuplicate(values);
+    if (dup >= 0) {
+        SL_FATAL("level ", level, " constraint: ", axis, " lists ",
+                 what, " ", dup, " more than once");
+    }
+}
+
+/** Enumerate per-level factor vectors recursively over allowed
+ *  levels (ascending), one divisor of the residual per level. */
+void
+enumerateSplits(const std::vector<int> &allowed, std::size_t pos,
+                std::int64_t remaining, int level_count,
+                std::vector<std::int64_t> &current,
+                std::vector<std::vector<std::int64_t>> &out)
+{
+    if (pos == allowed.size()) {
+        if (remaining == 1) {
+            out.push_back(current);
+        }
+        return;
+    }
+    if (pos + 1 == allowed.size()) {
+        // Last allowed level takes the whole residual.
+        current[static_cast<std::size_t>(allowed[pos])] = remaining;
+        out.push_back(current);
+        current[static_cast<std::size_t>(allowed[pos])] = 1;
+        return;
+    }
+    (void)level_count;
+    for (std::int64_t f : math::divisors(remaining)) {
+        current[static_cast<std::size_t>(allowed[pos])] = f;
+        enumerateSplits(allowed, pos + 1, remaining / f, level_count,
+                       current, out);
+    }
+    current[static_cast<std::size_t>(allowed[pos])] = 1;
+}
+
+} // namespace
+
+void
+validateConstraints(const Workload &workload, const Architecture &arch,
+                    const MapspaceConstraints &constraints)
+{
+    if (constraints.levels.empty()) {
+        return;
+    }
+    if (static_cast<int>(constraints.levels.size()) !=
+        arch.levelCount()) {
+        SL_FATAL("constraint count ", constraints.levels.size(),
+                 " must match the level count ", arch.levelCount());
+    }
+    const int D = workload.dimCount();
+    const int T = workload.tensorCount();
+    for (std::size_t l = 0; l < constraints.levels.size(); ++l) {
+        const LevelConstraint &con = constraints.levels[l];
+        const int level = static_cast<int>(l);
+        validateIndexList(con.loop_order, D, level, "loop_order",
+                          "dimension");
+        validateIndexList(con.spatial_dims, D, level, "spatial_dims",
+                          "dimension");
+        validateIndexList(con.keep, T, level, "keep", "tensor");
+    }
+}
+
+MapSpace::MapSpace(const Workload &workload, const Architecture &arch,
+                   MapspaceConstraints constraints,
+                   MapSpaceOptions options)
+    : workload_(workload), arch_(arch),
+      constraints_(std::move(constraints)), options_(options)
+{
+    validateConstraints(workload_, arch_, constraints_);
+    const int S = arch_.levelCount();
+    const int D = workload_.dimCount();
+    level_cons_.assign(static_cast<std::size_t>(S), LevelConstraint{});
+    if (!constraints_.levels.empty()) {
+        level_cons_ = constraints_.levels;
+    }
+
+    // Tiling axes: admissible levels and split counts per dimension.
+    allowed_.resize(static_cast<std::size_t>(D));
+    split_count_.resize(static_cast<std::size_t>(D), 1);
+    splits_.resize(static_cast<std::size_t>(D));
+    for (int d = 0; d < D; ++d) {
+        for (int l = 0; l < S; ++l) {
+            if (levelAllowsDim(l, d)) {
+                allowed_[static_cast<std::size_t>(d)].push_back(l);
+            }
+        }
+        const std::int64_t bound = workload_.dims()[d].bound;
+        const auto &lvls = allowed_[static_cast<std::size_t>(d)];
+        if (lvls.empty() && bound > 1) {
+            SL_WARN("mapspace is empty: dimension ",
+                    workload_.dims()[d].name, " (bound ", bound,
+                    ") is excluded from every level's loop_order");
+            empty_ = true;
+            continue;
+        }
+        split_count_[static_cast<std::size_t>(d)] =
+            math::orderedFactorizationCount(
+                bound, static_cast<int>(lvls.size()));
+        if (split_count_[static_cast<std::size_t>(d)] <=
+            options_.max_splits_per_dim) {
+            auto &out = splits_[static_cast<std::size_t>(d)];
+            std::vector<std::int64_t> current(
+                static_cast<std::size_t>(S), 1);
+            if (lvls.empty()) {
+                out.push_back(current);  // bound == 1: the empty split
+            } else {
+                enumerateSplits(lvls, 0, bound, S, current, out);
+            }
+            std::sort(out.begin(), out.end());
+            SL_ASSERT(static_cast<std::int64_t>(out.size()) ==
+                          split_count_[static_cast<std::size_t>(d)],
+                      "split enumeration disagrees with the count");
+        }
+    }
+
+    // Keep/bypass axes.
+    const int T = workload_.tensorCount();
+    keep_choices_.resize(static_cast<std::size_t>(S));
+    for (int l = 0; l < S; ++l) {
+        auto &choices = keep_choices_[static_cast<std::size_t>(l)];
+        const LevelConstraint &con =
+            level_cons_[static_cast<std::size_t>(l)];
+        if (!con.keep.empty()) {
+            std::vector<bool> mask(static_cast<std::size_t>(T), false);
+            for (int t : con.keep) {
+                mask[static_cast<std::size_t>(t)] = true;
+            }
+            choices.push_back(std::move(mask));
+        } else if (options_.explore_bypass && l > 0 && T <= 16) {
+            // All masks; the all-keep mask is canonically the empty
+            // vector (matching the sampler and Mapping::signature()).
+            choices.emplace_back();
+            for (std::uint32_t bits = 0;
+                 bits + 1 < (1u << static_cast<unsigned>(T)); ++bits) {
+                std::vector<bool> mask(static_cast<std::size_t>(T));
+                for (int t = 0; t < T; ++t) {
+                    mask[static_cast<std::size_t>(t)] =
+                        (bits >> static_cast<unsigned>(t)) & 1u;
+                }
+                choices.push_back(std::move(mask));
+            }
+        } else {
+            choices.emplace_back();  // keep-all
+        }
+    }
+
+    // Size accounting: exact (with enumeration prefix sums) when the
+    // tiling cross-product is materialized and small enough, estimate
+    // otherwise.
+    std::int64_t tilings = 1;
+    bool tilings_ok = !empty_;
+    for (int d = 0; d < D && tilings_ok; ++d) {
+        if (splits_[static_cast<std::size_t>(d)].empty()) {
+            tilings_ok = false;
+            break;
+        }
+        tilings = math::mulSat(
+            tilings, split_count_[static_cast<std::size_t>(d)]);
+    }
+    tilings_ok = tilings_ok && tilings <= options_.max_tilings;
+
+    if (empty_) {
+        size_ = {0.0, true, 0};
+        return;
+    }
+    if (tilings_ok) {
+        std::vector<std::int64_t> radices(split_count_.begin(),
+                                          split_count_.end());
+        std::int64_t total = 0;
+        bool saturated = false;
+        tiling_prefix_.reserve(static_cast<std::size_t>(tilings) + 1);
+        tiling_prefix_.push_back(0);
+        for (std::int64_t t = 0; t < tilings; ++t) {
+            auto digits = math::mixedRadixDecode(t, radices);
+            std::vector<std::size_t> tiling(digits.begin(),
+                                            digits.end());
+            std::int64_t block = blockSize(tilingFactors(tiling));
+            if (total >
+                std::numeric_limits<std::int64_t>::max() - block) {
+                saturated = true;
+                break;
+            }
+            total += block;
+            tiling_prefix_.push_back(total);
+        }
+        if (!saturated) {
+            size_.points = static_cast<double>(total);
+            size_.exact = true;
+            size_.enumerable =
+                total <= options_.max_enumerable_points ? total : -1;
+        }
+        if (saturated || size_.enumerable < 0) {
+            tiling_prefix_.clear();
+        }
+        if (!saturated) {
+            return;
+        }
+    }
+
+    // Product-form upper bound: every admissible dimension tiled at
+    // every admissible level.
+    double points = 1.0;
+    for (int d = 0; d < D; ++d) {
+        points *= static_cast<double>(
+            split_count_[static_cast<std::size_t>(d)]);
+    }
+    for (int l = 0; l < S; ++l) {
+        int dims_here = 0;
+        int spatial_here = 0;
+        for (int d = 0; d < D; ++d) {
+            if (!levelAllowsDim(l, d) ||
+                workload_.dims()[d].bound <= 1) {
+                continue;
+            }
+            ++dims_here;
+            const LevelConstraint &con =
+                level_cons_[static_cast<std::size_t>(l)];
+            bool spatial_ok = con.spatial_dims.empty() ||
+                std::find(con.spatial_dims.begin(),
+                          con.spatial_dims.end(),
+                          d) != con.spatial_dims.end();
+            if (spatial_ok && arch_.level(l).fanout > 1) {
+                ++spatial_here;
+            }
+        }
+        if (!orderConstrained(l)) {
+            points *= static_cast<double>(math::factorial(dims_here));
+        }
+        points *= static_cast<double>(std::max(1, spatial_here));
+        points *= static_cast<double>(
+            keep_choices_[static_cast<std::size_t>(l)].size());
+    }
+    size_.points = points;
+    size_.exact = false;
+    size_.enumerable = -1;
+}
+
+bool
+MapSpace::levelAllowsDim(int level, int dim) const
+{
+    const LevelConstraint &con =
+        level_cons_[static_cast<std::size_t>(level)];
+    return con.loop_order.empty() ||
+        std::find(con.loop_order.begin(), con.loop_order.end(), dim) !=
+            con.loop_order.end();
+}
+
+bool
+MapSpace::orderConstrained(int level) const
+{
+    return !level_cons_[static_cast<std::size_t>(level)]
+                .loop_order.empty();
+}
+
+std::vector<int>
+MapSpace::spatialCandidates(
+    int level, const std::vector<std::int64_t> &factors) const
+{
+    std::vector<int> candidates;
+    if (arch_.level(level).fanout <= 1) {
+        return candidates;
+    }
+    const LevelConstraint &con =
+        level_cons_[static_cast<std::size_t>(level)];
+    for (int d = 0; d < dimCount(); ++d) {
+        std::int64_t f = factors[static_cast<std::size_t>(d)];
+        bool allowed = con.spatial_dims.empty() ||
+            std::find(con.spatial_dims.begin(), con.spatial_dims.end(),
+                      d) != con.spatial_dims.end();
+        if (f > 1 && f <= arch_.level(level).fanout && allowed) {
+            candidates.push_back(d);
+        }
+    }
+    return candidates;
+}
+
+std::vector<std::vector<std::int64_t>>
+MapSpace::tilingFactors(const std::vector<std::size_t> &tiling) const
+{
+    const int S = levelCount();
+    const int D = dimCount();
+    std::vector<std::vector<std::int64_t>> factors(
+        static_cast<std::size_t>(S),
+        std::vector<std::int64_t>(static_cast<std::size_t>(D), 1));
+    for (int d = 0; d < D; ++d) {
+        const auto &split =
+            splits_[static_cast<std::size_t>(d)]
+                   [tiling[static_cast<std::size_t>(d)]];
+        for (int l = 0; l < S; ++l) {
+            factors[static_cast<std::size_t>(l)]
+                   [static_cast<std::size_t>(d)] =
+                split[static_cast<std::size_t>(l)];
+        }
+    }
+    return factors;
+}
+
+std::int64_t
+MapSpace::blockSize(
+    const std::vector<std::vector<std::int64_t>> &factors) const
+{
+    std::int64_t block = 1;
+    for (int l = 0; l < levelCount(); ++l) {
+        int tiled = 0;
+        for (int d = 0; d < dimCount(); ++d) {
+            if (factors[static_cast<std::size_t>(l)]
+                       [static_cast<std::size_t>(d)] > 1) {
+                ++tiled;
+            }
+        }
+        std::int64_t perms = orderConstrained(l)
+            ? 1
+            : math::factorial(tiled);
+        std::int64_t spatial = std::max<std::int64_t>(
+            1,
+            static_cast<std::int64_t>(
+                spatialCandidates(
+                    l, factors[static_cast<std::size_t>(l)])
+                    .size()));
+        std::int64_t keeps = static_cast<std::int64_t>(
+            keep_choices_[static_cast<std::size_t>(l)].size());
+        block = math::mulSat(block, perms);
+        block = math::mulSat(block, spatial);
+        block = math::mulSat(block, keeps);
+    }
+    return block;
+}
+
+Mapping
+MapSpace::sampleMapping(std::uint64_t seed) const
+{
+    SL_ASSERT(!empty_, "sampling an empty mapspace");
+    std::mt19937_64 rng(seed);
+    const int S = levelCount();
+    const int D = dimCount();
+
+    // 1. Split each dimension's bound into per-level factors by
+    //    repeatedly peeling random divisors from the innermost
+    //    admissible level upward; the outermost admissible level takes
+    //    the residual. With no constraints every level is admissible
+    //    and this consumes the RNG exactly like the pre-IR sampler.
+    std::vector<std::vector<std::int64_t>> factors(
+        static_cast<std::size_t>(S),
+        std::vector<std::int64_t>(static_cast<std::size_t>(D), 1));
+    for (int d = 0; d < D; ++d) {
+        const auto &lvls = allowed_[static_cast<std::size_t>(d)];
+        std::int64_t remaining = workload_.dims()[d].bound;
+        if (lvls.empty()) {
+            continue;  // bound == 1 (empty spaces are rejected above)
+        }
+        for (std::size_t i = lvls.size(); i-- > 1 && remaining > 1;) {
+            auto divs = math::divisors(remaining);
+            std::uniform_int_distribution<std::size_t> pick(
+                0, divs.size() - 1);
+            std::int64_t f = divs[pick(rng)];
+            factors[static_cast<std::size_t>(lvls[i])]
+                   [static_cast<std::size_t>(d)] = f;
+            remaining /= f;
+        }
+        factors[static_cast<std::size_t>(lvls.front())]
+               [static_cast<std::size_t>(d)] = remaining;
+    }
+
+    // 2. Per level: loop order (constrained sequence or a shuffle) and
+    //    spatial assignment.
+    std::vector<LevelNest> nests(static_cast<std::size_t>(S));
+    for (int l = 0; l < S; ++l) {
+        const LevelConstraint &con =
+            level_cons_[static_cast<std::size_t>(l)];
+        const auto &lf = factors[static_cast<std::size_t>(l)];
+        std::vector<int> dims;
+        for (int d = 0; d < D; ++d) {
+            if (lf[static_cast<std::size_t>(d)] > 1) {
+                dims.push_back(d);
+            }
+        }
+        if (!con.loop_order.empty()) {
+            // Every tiled dimension here is in the constrained order
+            // by construction; restrict to, and order by, it.
+            std::vector<int> ordered;
+            for (int d : con.loop_order) {
+                if (lf[static_cast<std::size_t>(d)] > 1) {
+                    ordered.push_back(d);
+                }
+            }
+            dims = std::move(ordered);
+        } else {
+            std::shuffle(dims.begin(), dims.end(), rng);
+        }
+
+        // Spatial choice: with fanout > 1, make one allowed tiled
+        // dimension spatial when possible (candidate order follows the
+        // loop order, as the pre-IR sampler did).
+        int spatial_dim = -1;
+        if (arch_.level(l).fanout > 1) {
+            std::vector<int> candidates;
+            for (int d : dims) {
+                bool allowed = con.spatial_dims.empty() ||
+                    std::find(con.spatial_dims.begin(),
+                              con.spatial_dims.end(), d) !=
+                        con.spatial_dims.end();
+                if (allowed && lf[static_cast<std::size_t>(d)] <=
+                        arch_.level(l).fanout) {
+                    candidates.push_back(d);
+                }
+            }
+            if (!candidates.empty()) {
+                std::uniform_int_distribution<std::size_t> pick(
+                    0, candidates.size() - 1);
+                spatial_dim = candidates[pick(rng)];
+            }
+        }
+        for (int d : dims) {
+            nests[static_cast<std::size_t>(l)].loops.push_back(
+                {d, lf[static_cast<std::size_t>(d)],
+                 d == spatial_dim});
+        }
+        if (!con.keep.empty()) {
+            auto &keep = nests[static_cast<std::size_t>(l)].keep;
+            keep.assign(
+                static_cast<std::size_t>(workload_.tensorCount()),
+                false);
+            for (int t : con.keep) {
+                keep[static_cast<std::size_t>(t)] = true;
+            }
+        }
+    }
+    return Mapping(std::move(nests));
+}
+
+Mapping
+MapSpace::mappingAt(std::int64_t index) const
+{
+    SL_ASSERT(size_.enumerable >= 0, "mapspace is not enumerable");
+    SL_ASSERT(index >= 0 && index < size_.enumerable,
+              "mapspace index ", index, " out of range");
+
+    // Locate the tiling block, then peel per-level digits.
+    auto it = std::upper_bound(tiling_prefix_.begin(),
+                               tiling_prefix_.end(), index);
+    std::int64_t t =
+        static_cast<std::int64_t>(it - tiling_prefix_.begin()) - 1;
+    std::int64_t rest = index - tiling_prefix_[static_cast<std::size_t>(t)];
+
+    std::vector<std::int64_t> radices(split_count_.begin(),
+                                      split_count_.end());
+    auto digits = math::mixedRadixDecode(t, radices);
+    std::vector<std::size_t> tiling(digits.begin(), digits.end());
+    auto factors = tilingFactors(tiling);
+
+    const int S = levelCount();
+    std::vector<LevelNest> nests(static_cast<std::size_t>(S));
+    for (int l = 0; l < S; ++l) {
+        const auto &lf = factors[static_cast<std::size_t>(l)];
+        std::vector<int> base;
+        for (int d = 0; d < dimCount(); ++d) {
+            if (lf[static_cast<std::size_t>(d)] > 1) {
+                base.push_back(d);
+            }
+        }
+        std::vector<int> order;
+        if (orderConstrained(l)) {
+            for (int d :
+                 level_cons_[static_cast<std::size_t>(l)].loop_order) {
+                if (lf[static_cast<std::size_t>(d)] > 1) {
+                    order.push_back(d);
+                }
+            }
+        } else {
+            std::int64_t perms =
+                math::factorial(static_cast<int>(base.size()));
+            std::int64_t digit = rest % perms;
+            rest /= perms;
+            for (int pos : math::nthPermutation(
+                     static_cast<int>(base.size()), digit)) {
+                order.push_back(base[static_cast<std::size_t>(pos)]);
+            }
+        }
+
+        auto candidates = spatialCandidates(l, lf);
+        int spatial_dim = -1;
+        if (!candidates.empty()) {
+            std::int64_t n =
+                static_cast<std::int64_t>(candidates.size());
+            spatial_dim = candidates[static_cast<std::size_t>(rest % n)];
+            rest /= n;
+        }
+
+        const auto &keeps = keep_choices_[static_cast<std::size_t>(l)];
+        std::int64_t kn = static_cast<std::int64_t>(keeps.size());
+        const std::vector<bool> &mask =
+            keeps[static_cast<std::size_t>(rest % kn)];
+        rest /= kn;
+
+        for (int d : order) {
+            nests[static_cast<std::size_t>(l)].loops.push_back(
+                {d, lf[static_cast<std::size_t>(d)],
+                 d == spatial_dim});
+        }
+        nests[static_cast<std::size_t>(l)].keep = mask;
+    }
+    SL_ASSERT(rest == 0, "mapspace index decode left a residue");
+    return Mapping(std::move(nests));
+}
+
+Mapping
+MapSpace::materialize(const Point &point) const
+{
+    auto factors = tilingFactors(point.tiling);
+    const int S = levelCount();
+    std::vector<LevelNest> nests(static_cast<std::size_t>(S));
+    for (int l = 0; l < S; ++l) {
+        const auto &lf = factors[static_cast<std::size_t>(l)];
+        const auto &order = point.order[static_cast<std::size_t>(l)];
+        int spatial_dim = point.spatial[static_cast<std::size_t>(l)];
+        for (int d : order) {
+            SL_ASSERT(lf[static_cast<std::size_t>(d)] > 1,
+                      "point order lists an untiled dimension");
+            nests[static_cast<std::size_t>(l)].loops.push_back(
+                {d, lf[static_cast<std::size_t>(d)],
+                 d == spatial_dim});
+        }
+        nests[static_cast<std::size_t>(l)].keep =
+            keep_choices_[static_cast<std::size_t>(l)]
+                         [point.keep[static_cast<std::size_t>(l)]];
+    }
+    return Mapping(std::move(nests));
+}
+
+std::optional<MapSpace::Point>
+MapSpace::encode(const Mapping &mapping) const
+{
+    const int S = levelCount();
+    const int D = dimCount();
+    if (mapping.levelCount() != S) {
+        return std::nullopt;
+    }
+    Point point;
+    point.tiling.resize(static_cast<std::size_t>(D));
+    point.order.resize(static_cast<std::size_t>(S));
+    point.spatial.assign(static_cast<std::size_t>(S), -1);
+    point.keep.resize(static_cast<std::size_t>(S));
+
+    std::vector<std::vector<std::int64_t>> factors(
+        static_cast<std::size_t>(S),
+        std::vector<std::int64_t>(static_cast<std::size_t>(D), 1));
+    for (int l = 0; l < S; ++l) {
+        const LevelNest &nest = mapping.level(l);
+        for (const Loop &loop : nest.loops) {
+            if (loop.dim < 0 || loop.dim >= D ||
+                factors[static_cast<std::size_t>(l)]
+                       [static_cast<std::size_t>(loop.dim)] != 1) {
+                return std::nullopt;  // unknown or repeated dimension
+            }
+            factors[static_cast<std::size_t>(l)]
+                   [static_cast<std::size_t>(loop.dim)] = loop.bound;
+            if (loop.bound > 1) {
+                point.order[static_cast<std::size_t>(l)].push_back(
+                    loop.dim);
+            }
+            if (loop.spatial) {
+                if (point.spatial[static_cast<std::size_t>(l)] != -1) {
+                    return std::nullopt;  // two spatial loops
+                }
+                point.spatial[static_cast<std::size_t>(l)] = loop.dim;
+            }
+        }
+        const auto &keeps = keep_choices_[static_cast<std::size_t>(l)];
+        auto kit = std::find(keeps.begin(), keeps.end(), nest.keep);
+        if (kit == keeps.end()) {
+            return std::nullopt;
+        }
+        point.keep[static_cast<std::size_t>(l)] =
+            static_cast<std::size_t>(kit - keeps.begin());
+    }
+    for (int d = 0; d < D; ++d) {
+        const auto &dim_splits = splits_[static_cast<std::size_t>(d)];
+        if (dim_splits.empty()) {
+            return std::nullopt;  // tiling axis not materialized
+        }
+        std::vector<std::int64_t> split(static_cast<std::size_t>(S));
+        for (int l = 0; l < S; ++l) {
+            split[static_cast<std::size_t>(l)] =
+                factors[static_cast<std::size_t>(l)]
+                       [static_cast<std::size_t>(d)];
+        }
+        auto sit = std::lower_bound(dim_splits.begin(),
+                                    dim_splits.end(), split);
+        if (sit == dim_splits.end() || *sit != split) {
+            return std::nullopt;  // outside the pruned tiling axis
+        }
+        point.tiling[static_cast<std::size_t>(d)] =
+            static_cast<std::size_t>(sit - dim_splits.begin());
+    }
+    if (!satisfies(materialize(point))) {
+        return std::nullopt;
+    }
+    return point;
+}
+
+std::vector<MapSpace::Point>
+MapSpace::neighbors(const Point &point) const
+{
+    std::vector<Point> out;
+    const int S = levelCount();
+    auto factors = tilingFactors(point.tiling);
+
+    // Re-validate a point after a tiling move: orders keep surviving
+    // dimensions in place, newly tiled dimensions append innermost,
+    // and the spatial pick falls back to the first candidate.
+    auto reconcile = [&](Point p) {
+        auto nf = tilingFactors(p.tiling);
+        for (int l = 0; l < S; ++l) {
+            const auto &lf = nf[static_cast<std::size_t>(l)];
+            std::vector<int> order;
+            if (orderConstrained(l)) {
+                for (int d : level_cons_[static_cast<std::size_t>(l)]
+                                 .loop_order) {
+                    if (lf[static_cast<std::size_t>(d)] > 1) {
+                        order.push_back(d);
+                    }
+                }
+            } else {
+                for (int d : p.order[static_cast<std::size_t>(l)]) {
+                    if (lf[static_cast<std::size_t>(d)] > 1) {
+                        order.push_back(d);
+                    }
+                }
+                for (int d = 0; d < dimCount(); ++d) {
+                    if (lf[static_cast<std::size_t>(d)] > 1 &&
+                        std::find(order.begin(), order.end(), d) ==
+                            order.end()) {
+                        order.push_back(d);
+                    }
+                }
+            }
+            p.order[static_cast<std::size_t>(l)] = std::move(order);
+            auto candidates = spatialCandidates(l, lf);
+            int &spatial = p.spatial[static_cast<std::size_t>(l)];
+            if (std::find(candidates.begin(), candidates.end(),
+                          spatial) == candidates.end()) {
+                spatial = candidates.empty() ? -1 : candidates.front();
+            }
+        }
+        return p;
+    };
+
+    // Tiling moves: adjacent split per dimension.
+    for (int d = 0; d < dimCount(); ++d) {
+        std::size_t idx = point.tiling[static_cast<std::size_t>(d)];
+        for (int delta : {-1, 1}) {
+            std::int64_t next = static_cast<std::int64_t>(idx) + delta;
+            if (next < 0 || next >= splitCount(d)) {
+                continue;
+            }
+            Point p = point;
+            p.tiling[static_cast<std::size_t>(d)] =
+                static_cast<std::size_t>(next);
+            out.push_back(reconcile(std::move(p)));
+        }
+    }
+
+    // Permutation moves: adjacent transpositions at unconstrained
+    // levels.
+    for (int l = 0; l < S; ++l) {
+        if (orderConstrained(l)) {
+            continue;
+        }
+        const auto &order = point.order[static_cast<std::size_t>(l)];
+        for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+            Point p = point;
+            std::swap(p.order[static_cast<std::size_t>(l)][i],
+                      p.order[static_cast<std::size_t>(l)][i + 1]);
+            out.push_back(std::move(p));
+        }
+    }
+
+    // Spatial moves: every alternative candidate.
+    for (int l = 0; l < S; ++l) {
+        auto candidates =
+            spatialCandidates(l, factors[static_cast<std::size_t>(l)]);
+        for (int d : candidates) {
+            if (d == point.spatial[static_cast<std::size_t>(l)]) {
+                continue;
+            }
+            Point p = point;
+            p.spatial[static_cast<std::size_t>(l)] = d;
+            out.push_back(std::move(p));
+        }
+    }
+
+    // Keep moves: every alternative mask.
+    for (int l = 0; l < S; ++l) {
+        const auto &keeps = keep_choices_[static_cast<std::size_t>(l)];
+        for (std::size_t k = 0; k < keeps.size(); ++k) {
+            if (k == point.keep[static_cast<std::size_t>(l)]) {
+                continue;
+            }
+            Point p = point;
+            p.keep[static_cast<std::size_t>(l)] = k;
+            out.push_back(std::move(p));
+        }
+    }
+    return out;
+}
+
+bool
+MapSpace::pointEncodable() const
+{
+    for (const auto &dim_splits : splits_) {
+        if (dim_splits.empty()) {
+            return false;
+        }
+    }
+    return !empty_;
+}
+
+bool
+MapSpace::satisfies(const Mapping &mapping) const
+{
+    if (mapping.levelCount() != levelCount()) {
+        return false;
+    }
+    for (int l = 0; l < levelCount(); ++l) {
+        const LevelConstraint &con =
+            level_cons_[static_cast<std::size_t>(l)];
+        const LevelNest &nest = mapping.level(l);
+        if (!con.loop_order.empty()) {
+            // Loops must visit a subsequence of the constrained order.
+            std::size_t pos = 0;
+            for (const Loop &loop : nest.loops) {
+                while (pos < con.loop_order.size() &&
+                       con.loop_order[pos] != loop.dim) {
+                    ++pos;
+                }
+                if (pos == con.loop_order.size()) {
+                    return false;
+                }
+                ++pos;
+            }
+        }
+        if (!con.spatial_dims.empty()) {
+            for (const Loop &loop : nest.loops) {
+                if (loop.spatial &&
+                    std::find(con.spatial_dims.begin(),
+                              con.spatial_dims.end(), loop.dim) ==
+                        con.spatial_dims.end()) {
+                    return false;
+                }
+            }
+        }
+        if (!con.keep.empty()) {
+            std::vector<bool> expected(
+                static_cast<std::size_t>(workload_.tensorCount()),
+                false);
+            for (int t : con.keep) {
+                expected[static_cast<std::size_t>(t)] = true;
+            }
+            if (nest.keep != expected) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace sparseloop

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Explicit mapspace IR (Sec. 5.1 "mapspace constraints").
+ *
+ * A mapping is a point in a structured space with four families of
+ * axes, one value per axis picked independently:
+ *
+ *  - **Tiling** — per workload dimension, an ordered factorization of
+ *    the dimension bound across the storage levels (a "split").
+ *  - **Permutation** — per storage level, the order of the temporal
+ *    loops over the dimensions tiled at that level.
+ *  - **Spatial** — per storage level with fanout > 1, which tiled
+ *    dimension (if any) becomes a parallel-for.
+ *  - **Keep/bypass** — per storage level, which tensors are buffered.
+ *
+ * `MapSpace` materializes these axes explicitly, applying
+ * `MapspaceConstraints` **by construction**: a constrained axis is
+ * pruned before anything samples or enumerates it, so no candidate is
+ * ever drawn and then rejected for violating a constraint. This is the
+ * load-bearing difference from the pre-IR mapper, which fused
+ * rejection sampling into the search loop and burned most of a
+ * constrained search's budget on invalid draws.
+ *
+ * The IR reports its size (exactly when the space is small enough to
+ * enumerate, as a product-form upper bound otherwise) and serves three
+ * access patterns, one per search strategy:
+ *
+ *  - `sampleMapping(seed)` — the seeded random candidate derivation.
+ *    For unconstrained spaces it consumes its RNG exactly like the
+ *    pre-IR `Mapper`, so `RandomSearch` reproduces historical results
+ *    bit-identically; under constraints it redistributes factors over
+ *    the allowed levels instead of rejecting.
+ *  - `mappingAt(index)` — exact indexed enumeration (duplicate-free)
+ *    for `ExhaustiveSearch` when `size().enumerable >= 0`.
+ *  - `materialize`/`encode`/`neighbors` over `MapSpace::Point` — a
+ *    per-axis coordinate form for `HybridSearch`'s greedy
+ *    neighborhood refinement.
+ */
+
+#ifndef SPARSELOOP_MAPPER_MAPSPACE_HH
+#define SPARSELOOP_MAPPER_MAPSPACE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mapping/mapping.hh"
+
+namespace sparseloop {
+
+/** Per-level search constraints. */
+struct LevelConstraint
+{
+    /**
+     * Required relative order of dimensions for the temporal loops at
+     * this level (outer first); empty = any order. Dimensions absent
+     * from the list may not appear at this level.
+     */
+    std::vector<int> loop_order;
+    /**
+     * Dimensions allowed to be spatial at this level; empty = no
+     * restriction (any tiled dimension that fits the fanout).
+     */
+    std::vector<int> spatial_dims;
+    /** Tensors kept at this level; empty = keep all. */
+    std::vector<int> keep;
+};
+
+/** Mapspace constraints: one entry per storage level (or empty). */
+struct MapspaceConstraints
+{
+    std::vector<LevelConstraint> levels;
+};
+
+/**
+ * Validate a constraint set against a workload and architecture:
+ * the level count must match (or be zero), and every dimension or
+ * tensor index must be in range and listed at most once per axis.
+ * Fatal (SL_FATAL) on the first violation, naming the level and the
+ * offending entry.
+ */
+void validateConstraints(const Workload &workload,
+                         const Architecture &arch,
+                         const MapspaceConstraints &constraints);
+
+/** Materialization and enumeration limits. */
+struct MapSpaceOptions
+{
+    /** Max splits materialized per dimension; beyond this the tiling
+     *  axis stays implicit (sampling works, indexing/encoding don't). */
+    std::int64_t max_splits_per_dim = 1 << 16;
+    /** Max tiling combinations for exact size accounting. */
+    std::int64_t max_tilings = 1 << 16;
+    /** Max total points for exact indexed enumeration. */
+    std::int64_t max_enumerable_points = 1 << 22;
+    /**
+     * Enumerate keep/bypass masks as a search axis at levels below the
+     * outermost (which always keeps everything so each tensor has a
+     * backing store). Off by default: bypass exploration multiplies the
+     * space by 2^tensors per level, and the pre-IR mapper never
+     * explored it, so it is opt-in to preserve result compatibility.
+     */
+    bool explore_bypass = false;
+};
+
+/** Size report of a mapspace. */
+struct MapSpaceSize
+{
+    /**
+     * Point count. When `exact`, the precise number of enumerable
+     * points; otherwise a product-form upper-bound estimate (treating
+     * every level as if all its admissible dimensions were tiled
+     * there).
+     */
+    double points = 0.0;
+    bool exact = false;
+    /** Exact point count when the space supports `mappingAt` indexed
+     *  enumeration, else -1. */
+    std::int64_t enumerable = -1;
+};
+
+/**
+ * The constraint-pruned mapspace of one (workload, architecture) pair.
+ * Immutable after construction; all accessors are const and
+ * thread-safe. Keeps references to the workload and architecture,
+ * which must outlive it.
+ */
+class MapSpace
+{
+  public:
+    /**
+     * Per-axis coordinates of one point, the currency of neighborhood
+     * search. Produced by `encode`, consumed by `materialize` and
+     * `neighbors`.
+     */
+    struct Point
+    {
+        /** Per dimension: index into `splits(dim)`. */
+        std::vector<std::size_t> tiling;
+        /** Per level: tiled dimensions in loop order (outer first). */
+        std::vector<std::vector<int>> order;
+        /** Per level: spatial dimension, or -1 for none. */
+        std::vector<int> spatial;
+        /** Per level: index into the keep-mask choices. */
+        std::vector<std::size_t> keep;
+    };
+
+    MapSpace(const Workload &workload, const Architecture &arch,
+             MapspaceConstraints constraints = {},
+             MapSpaceOptions options = {});
+
+    int dimCount() const { return static_cast<int>(allowed_.size()); }
+    int levelCount() const
+    {
+        return static_cast<int>(level_cons_.size());
+    }
+
+    /**
+     * True when some dimension with bound > 1 has no admissible level
+     * (constraints exclude it everywhere): the space contains no
+     * mapping at all.
+     */
+    bool empty() const { return empty_; }
+
+    const MapSpaceSize &size() const { return size_; }
+
+    /** Levels at which @p dim may carry a factor > 1 (ascending). */
+    const std::vector<int> &allowedLevels(int dim) const
+    {
+        return allowed_[static_cast<std::size_t>(dim)];
+    }
+
+    /** Whether @p level admits loops over @p dim. */
+    bool levelAllowsDim(int level, int dim) const;
+
+    /** Number of per-level factorizations of @p dim 's bound. */
+    std::int64_t splitCount(int dim) const
+    {
+        return split_count_[static_cast<std::size_t>(dim)];
+    }
+
+    /**
+     * Materialized splits of @p dim: each entry is a per-level factor
+     * vector (product = dimension bound, 1 at disallowed levels),
+     * sorted lexicographically. Empty when `splitCount` exceeds
+     * `MapSpaceOptions::max_splits_per_dim`.
+     */
+    const std::vector<std::vector<std::int64_t>> &splits(int dim) const
+    {
+        return splits_[static_cast<std::size_t>(dim)];
+    }
+
+    /** Keep-mask choices at @p level (empty mask = keep all). */
+    const std::vector<std::vector<bool>> &keepChoices(int level) const
+    {
+        return keep_choices_[static_cast<std::size_t>(level)];
+    }
+
+    /**
+     * Draw the candidate for one seed. The derivation is the pre-IR
+     * mapper's (divisor peeling innermost-up, Fisher-Yates loop order,
+     * uniform spatial pick) restricted to the pruned axes, so it never
+     * violates a constraint; with no constraints it is RNG-step
+     * identical to the historical sampler. Requires `!empty()`.
+     */
+    Mapping sampleMapping(std::uint64_t seed) const;
+
+    /**
+     * The @p index -th point of the exact enumeration (duplicate-free,
+     * covers every mapping `sampleMapping` can produce). Requires
+     * `size().enumerable >= 0` and `0 <= index < size().enumerable`.
+     */
+    Mapping mappingAt(std::int64_t index) const;
+
+    /** Build the mapping at explicit per-axis coordinates. */
+    Mapping materialize(const Point &point) const;
+
+    /**
+     * Recover the coordinates of a mapping. Fails (nullopt) when the
+     * mapping lies outside this space — unmaterialized tiling axis, a
+     * dimension looped twice at one level, an unknown keep mask, or a
+     * constraint violation.
+     */
+    std::optional<Point> encode(const Mapping &mapping) const;
+
+    /**
+     * Single-axis moves from @p point: adjacent tiling splits per
+     * dimension (loop orders reconciled, spatial re-validated),
+     * adjacent transpositions of each unconstrained level order,
+     * alternative spatial picks, and alternative keep masks. Every
+     * neighbor is a valid in-space point.
+     */
+    std::vector<Point> neighbors(const Point &point) const;
+
+    /** Post-hoc constraint check (for tests and rejection baselines). */
+    bool satisfies(const Mapping &mapping) const;
+
+    /**
+     * Whether every tiling axis is materialized, i.e. `encode` can
+     * succeed and neighborhood refinement is available. False when
+     * some dimension's split count exceeds
+     * `MapSpaceOptions::max_splits_per_dim`.
+     */
+    bool pointEncodable() const;
+
+    const MapspaceConstraints &constraints() const
+    {
+        return constraints_;
+    }
+    const Workload &workload() const { return workload_; }
+    const Architecture &arch() const { return arch_; }
+    const MapSpaceOptions &options() const { return options_; }
+
+  private:
+    /** Spatial candidates at @p level given per-dim factors there,
+     *  in ascending dimension order. */
+    std::vector<int>
+    spatialCandidates(int level,
+                      const std::vector<std::int64_t> &factors) const;
+
+    /** Whether constraints fix the loop order at @p level. */
+    bool orderConstrained(int level) const;
+
+    /** Per-level factors of one tiling coordinate vector. */
+    std::vector<std::vector<std::int64_t>>
+    tilingFactors(const std::vector<std::size_t> &tiling) const;
+
+    /** Point count of one tiling combination (saturating). */
+    std::int64_t
+    blockSize(const std::vector<std::vector<std::int64_t>> &factors)
+        const;
+
+    const Workload &workload_;
+    const Architecture &arch_;
+    MapspaceConstraints constraints_;
+    MapSpaceOptions options_;
+
+    /** Normalized per-level constraints (always levelCount entries). */
+    std::vector<LevelConstraint> level_cons_;
+    /** Per dim: admissible levels, ascending. */
+    std::vector<std::vector<int>> allowed_;
+    /** Per dim: number of splits (saturating). */
+    std::vector<std::int64_t> split_count_;
+    /** Per dim: materialized splits (may be empty when too many). */
+    std::vector<std::vector<std::vector<std::int64_t>>> splits_;
+    /** Per level: keep-mask choices. */
+    std::vector<std::vector<std::vector<bool>>> keep_choices_;
+    /** Exclusive prefix sums of per-tiling block sizes (enumeration
+     *  support); empty when the space is not enumerable. */
+    std::vector<std::int64_t> tiling_prefix_;
+    MapSpaceSize size_;
+    bool empty_ = false;
+};
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_MAPPER_MAPSPACE_HH

@@ -1,11 +1,10 @@
 /**
  * @file
- * Sharded mapspace search across a std::thread worker pool.
+ * Thin parallel driver: the shared search loop with a multi-threaded
+ * evaluation pool.
  */
 
 #include "mapper/parallel_mapper.hh"
-
-#include <vector>
 
 #include "common/parallel.hh"
 
@@ -32,48 +31,7 @@ ParallelMapper::threadCount() const
 MapperResult
 ParallelMapper::search() const
 {
-    const int samples = mapper_.options().samples;
-    const int threads = threadCount();
-    if (threads == 1) {
-        return mapper_.search();
-    }
-
-    // Contiguous shards: worker t owns [t*chunk, ...) with the first
-    // `rest` shards one sample larger, covering [0, samples) exactly.
-    const int chunk = samples / threads;
-    const int rest = samples % threads;
-    std::vector<int> bounds(static_cast<std::size_t>(threads) + 1, 0);
-    for (int t = 0; t < threads; ++t) {
-        bounds[t + 1] = bounds[t] + chunk + (t < rest ? 1 : 0);
-    }
-    std::vector<ShardOutcome> outcomes(threads);
-    parallel::runOnThreads(threads, [this, &bounds, &outcomes](int t) {
-        outcomes[t] = mapper_.searchShard(bounds[t], bounds[t + 1]);
-    });
-
-    // Deterministic reduction: counts sum across shards; the winner is
-    // the minimum (objective, sample index) pair, i.e. exactly the
-    // candidate the sequential scan would have kept.
-    MapperResult merged;
-    double best_obj = 0.0;
-    int best_index = -1;
-    for (const ShardOutcome &out : outcomes) {
-        merged.candidates_evaluated += out.result.candidates_evaluated;
-        merged.candidates_valid += out.result.candidates_valid;
-        if (!out.result.found) {
-            continue;
-        }
-        if (!merged.found || out.best_objective < best_obj ||
-            (out.best_objective == best_obj &&
-             out.best_index < best_index)) {
-            merged.found = true;
-            merged.mapping = out.result.mapping;
-            merged.eval = out.result.eval;
-            best_obj = out.best_objective;
-            best_index = out.best_index;
-        }
-    }
-    return merged;
+    return mapper_.searchWithThreads(threadCount());
 }
 
 } // namespace sparseloop

@@ -1,25 +1,27 @@
 /**
  * @file
- * Multi-threaded mapspace search. Design-space-exploration sweeps
- * evaluate thousands of candidate mappings per design point, and every
- * candidate is independent, so the search shards the sample index
- * space across a std::thread worker pool. Each worker reduces its
- * shard to a local best; the final reduction merges shards in index
- * order with an (objective, sample index) lexicographic tie-break,
- * which makes the result bit-identical to the sequential Mapper at
- * every thread count.
+ * Multi-threaded mapspace search. A search evaluates thousands of
+ * independent candidate mappings, so the driver hands each proposed
+ * batch to `BatchEvaluator`'s worker pool; this wrapper simply
+ * resolves a worker count and runs the shared driver with it. Because
+ * every strategy proposes candidates in a thread-count-independent
+ * order and the batched evaluation is bit-identical to sequential
+ * evaluation, the result is bit-identical to the sequential `Mapper`
+ * at every thread count — for random, exhaustive, and hybrid search
+ * alike.
  *
  * Pair the search with an `EvalCache` (via `MapperOptions::cache`) to
- * share candidate evaluations across worker threads, across restarts,
- * and with any `BatchEvaluator` sharing the same cache object.
+ * share candidate evaluations across restarts, design points, and any
+ * `BatchEvaluator` sharing the same cache object.
  *
  * Quickstart:
  * @code
  *   MapperOptions opts;
  *   opts.samples = 4000;
  *   opts.objective = Objective::Edp;
- *   opts.cache = std::make_shared<EvalCache>();  // optional, shared
- *   ParallelMapperOptions popts;                 // 0 = all cores
+ *   opts.strategy = SearchStrategyKind::Auto;   // exhaustive if small
+ *   opts.cache = std::make_shared<EvalCache>(); // optional, shared
+ *   ParallelMapperOptions popts;                // 0 = all cores
  *   ParallelMapper mapper(workload, arch, safs, opts, popts);
  *   MapperResult best = mapper.search();
  *   if (best.found) {
@@ -50,13 +52,17 @@ class ParallelMapper
                    MapspaceConstraints constraints = {});
 
     /**
-     * Run the sharded search. Returns the same MapperResult as
-     * Mapper::search() with identical options and constraints.
+     * Run the search across the worker pool. Returns the same
+     * MapperResult as Mapper::search() with identical options and
+     * constraints.
      */
     MapperResult search() const;
 
     /** Resolved worker count for the configured sample budget. */
     int threadCount() const;
+
+    /** The underlying (sequential-driver) mapper. */
+    const Mapper &mapper() const { return mapper_; }
 
   private:
     Mapper mapper_;

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Search-strategy implementations over the mapspace IR.
+ */
+
+#include "mapper/search_strategy.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace sparseloop {
+
+void
+SearchStrategy::observe(const std::vector<SearchCandidate> &batch,
+                        const std::vector<double> &objectives)
+{
+    (void)batch;
+    (void)objectives;
+}
+
+// ---------------------------------------------------------------------------
+// RandomSearch
+// ---------------------------------------------------------------------------
+
+RandomSearch::RandomSearch(const MapSpace &space, std::uint64_t seed)
+    : space_(space), seed_(seed)
+{
+}
+
+std::vector<SearchCandidate>
+RandomSearch::propose(int max_count)
+{
+    std::vector<SearchCandidate> batch;
+    batch.reserve(static_cast<std::size_t>(std::max(0, max_count)));
+    for (int i = 0; i < max_count; ++i) {
+        std::int64_t index = next_++;
+        // seed + index is the historical per-candidate derivation; a
+        // given index yields the same candidate at any batch size.
+        batch.push_back(
+            {index,
+             space_.sampleMapping(
+                 seed_ + static_cast<std::uint64_t>(index))});
+    }
+    return batch;
+}
+
+// ---------------------------------------------------------------------------
+// ExhaustiveSearch
+// ---------------------------------------------------------------------------
+
+ExhaustiveSearch::ExhaustiveSearch(const MapSpace &space)
+    : space_(space)
+{
+    SL_ASSERT(space_.size().enumerable >= 0,
+              "exhaustive search requires an enumerable mapspace");
+}
+
+std::vector<SearchCandidate>
+ExhaustiveSearch::propose(int max_count)
+{
+    std::vector<SearchCandidate> batch;
+    const std::int64_t total = space_.size().enumerable;
+    while (max_count-- > 0 && next_ < total) {
+        batch.push_back({next_, space_.mappingAt(next_)});
+        ++next_;
+    }
+    return batch;
+}
+
+// ---------------------------------------------------------------------------
+// HybridSearch
+// ---------------------------------------------------------------------------
+
+HybridSearch::HybridSearch(const MapSpace &space, std::uint64_t seed,
+                           std::int64_t warmup)
+    : space_(space), seed_(seed),
+      warmup_(std::max<std::int64_t>(1, warmup)),
+      random_left_(warmup_),
+      incumbent_obj_(std::numeric_limits<double>::infinity())
+{
+}
+
+std::vector<SearchCandidate>
+HybridSearch::proposeRandom(int count)
+{
+    std::vector<SearchCandidate> batch;
+    batch.reserve(static_cast<std::size_t>(std::max(0, count)));
+    for (int i = 0; i < count; ++i) {
+        batch.push_back(
+            {next_++,
+             space_.sampleMapping(
+                 seed_ + static_cast<std::uint64_t>(next_seed_++))});
+    }
+    refining_ = false;
+    return batch;
+}
+
+std::vector<SearchCandidate>
+HybridSearch::propose(int max_count)
+{
+    if (max_count <= 0) {
+        return {};
+    }
+    // Warmup/restart: pure random while the exploration allowance
+    // lasts. With no refinable incumbent after a window (all
+    // candidates invalid or un-encodable), grant another one.
+    if (pending_.empty() && outstanding_ == 0) {
+        if (random_left_ == 0 && !incumbent_) {
+            random_left_ = warmup_;
+        }
+        if (random_left_ > 0) {
+            std::int64_t want =
+                std::min<std::int64_t>(max_count, random_left_);
+            auto batch = proposeRandom(static_cast<int>(want));
+            random_left_ -= static_cast<std::int64_t>(batch.size());
+            return batch;
+        }
+        // Start a refinement round: fix the incumbent's full
+        // neighborhood now and stream it out; the improve-or-restart
+        // decision falls at the round boundary (in observe), so the
+        // proposal sequence is independent of the driver's batch size.
+        pending_ = space_.neighbors(*incumbent_);
+        round_improved_ = false;
+        if (pending_.empty()) {
+            // Isolated point: only random exploration is left.
+            random_left_ = warmup_;
+            return propose(max_count);
+        }
+    }
+    std::vector<SearchCandidate> batch;
+    std::size_t take = std::min<std::size_t>(
+        static_cast<std::size_t>(max_count), pending_.size());
+    for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back({next_++, space_.materialize(pending_[i])});
+    }
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(take));
+    outstanding_ += static_cast<std::int64_t>(take);
+    refining_ = true;
+    return batch;
+}
+
+void
+HybridSearch::observe(const std::vector<SearchCandidate> &batch,
+                      const std::vector<double> &objectives)
+{
+    SL_ASSERT(batch.size() == objectives.size(),
+              "objective feedback size mismatch");
+    bool improved = false;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (objectives[i] < incumbent_obj_) {
+            auto point = space_.encode(batch[i].mapping);
+            if (point) {
+                incumbent_ = std::move(point);
+                incumbent_obj_ = objectives[i];
+                improved = true;
+            }
+        }
+    }
+    if (!refining_) {
+        return;
+    }
+    outstanding_ -= static_cast<std::int64_t>(batch.size());
+    round_improved_ = round_improved_ || improved;
+    if (outstanding_ == 0 && pending_.empty()) {
+        // Round boundary: a fruitless full neighborhood means a local
+        // optimum — grant another random-exploration window (the
+        // incumbent survives, so any later improvement refines again).
+        if (!round_improved_) {
+            random_left_ = warmup_;
+        }
+        refining_ = false;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SearchStrategy>
+makeSearchStrategy(SearchStrategyKind kind, const MapSpace &space,
+                   std::uint64_t seed, std::int64_t budget,
+                   std::int64_t hybrid_warmup)
+{
+    if (kind == SearchStrategyKind::Auto) {
+        const std::int64_t enumerable = space.size().enumerable;
+        kind = (enumerable >= 0 && enumerable <= budget)
+            ? SearchStrategyKind::Exhaustive
+            : SearchStrategyKind::Random;
+    }
+    switch (kind) {
+      case SearchStrategyKind::Random:
+        return std::make_unique<RandomSearch>(space, seed);
+      case SearchStrategyKind::Exhaustive:
+        if (space.size().enumerable < 0) {
+            SL_FATAL("exhaustive search requested but the mapspace is ",
+                     "not enumerable (~", space.size().points,
+                     " points exceed the materialization limits); ",
+                     "use Random/Hybrid or raise MapSpaceOptions");
+        }
+        return std::make_unique<ExhaustiveSearch>(space);
+      case SearchStrategyKind::Hybrid: {
+        if (!space.pointEncodable()) {
+            SL_WARN("hybrid search: the mapspace's tiling axes exceed ",
+                    "the materialization limits, so candidates cannot ",
+                    "be encoded for refinement; the search degenerates ",
+                    "to pure random sampling");
+        }
+        std::int64_t warmup = hybrid_warmup > 0
+            ? hybrid_warmup
+            : std::max<std::int64_t>(1, budget / 4);
+        return std::make_unique<HybridSearch>(space, seed, warmup);
+      }
+      case SearchStrategyKind::Auto:
+        break;
+    }
+    SL_PANIC("unknown search strategy kind");
+}
+
+} // namespace sparseloop

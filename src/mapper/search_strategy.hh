@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Pluggable search strategies over the mapspace IR.
+ *
+ * A strategy is a candidate generator: the driver (`Mapper` /
+ * `ParallelMapper`) repeatedly asks it to `propose` a batch of
+ * candidates, evaluates the batch through `BatchEvaluator` (so
+ * deduplication, dense-prefix grouping, and the worker pool apply
+ * during search), feeds the objectives back via `observe`, and keeps
+ * the (objective, index)-lexicographic best. Splitting generation from
+ * evaluation is what makes the strategies interchangeable and the
+ * parallelism strategy-agnostic: every strategy is deterministic given
+ * its feedback, and the feedback is bit-identical at any thread count.
+ *
+ * Shipped strategies:
+ *  - `RandomSearch` — seeded sampling via the IR; bit-identical to the
+ *    pre-IR mapper on unconstrained spaces (same seed -> candidate
+ *    derivation), rejection-free under constraints.
+ *  - `ExhaustiveSearch` — walks `MapSpace::mappingAt`; auto-selected
+ *    by the driver when the pruned space fits the sample budget, which
+ *    upgrades the search from sampled to provably optimal.
+ *  - `HybridSearch` — random warmup, then greedy hill-climbing over
+ *    `MapSpace::neighbors` with random restarts when a local optimum
+ *    stalls.
+ */
+
+#ifndef SPARSELOOP_MAPPER_SEARCH_STRATEGY_HH
+#define SPARSELOOP_MAPPER_SEARCH_STRATEGY_HH
+
+#include <memory>
+
+#include "mapper/mapspace.hh"
+
+namespace sparseloop {
+
+/** Which search strategy a `Mapper` runs. */
+enum class SearchStrategyKind
+{
+    /** Exhaustive when the pruned space fits the sample budget
+     *  (exactness for free), random otherwise. */
+    Auto,
+    Random,
+    Exhaustive,
+    Hybrid,
+};
+
+/** One proposed candidate: a mapping plus its global proposal index
+ *  (the deterministic tie-break for equal objectives). */
+struct SearchCandidate
+{
+    std::int64_t index = 0;
+    Mapping mapping;
+};
+
+/**
+ * Candidate-generation interface. Not thread-safe: one driver owns and
+ * drives a strategy sequentially; parallelism lives in the batched
+ * evaluation of whatever the strategy proposes.
+ */
+class SearchStrategy
+{
+  public:
+    virtual ~SearchStrategy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Propose up to @p max_count candidates. Indices are unique and
+     * strictly increasing across the whole search. An empty batch
+     * means the strategy is exhausted and the search stops early.
+     */
+    virtual std::vector<SearchCandidate> propose(int max_count) = 0;
+
+    /**
+     * Feedback for the batch returned by the previous `propose` call:
+     * `objectives[i]` is the objective value of `batch[i]` (+infinity
+     * for invalid candidates; lower is better).
+     */
+    virtual void observe(const std::vector<SearchCandidate> &batch,
+                         const std::vector<double> &objectives);
+};
+
+/** Seeded random sampling through the IR (never exhausts). */
+class RandomSearch : public SearchStrategy
+{
+  public:
+    RandomSearch(const MapSpace &space, std::uint64_t seed);
+
+    const char *name() const override { return "random"; }
+    std::vector<SearchCandidate> propose(int max_count) override;
+
+  private:
+    const MapSpace &space_;
+    std::uint64_t seed_;
+    std::int64_t next_ = 0;
+};
+
+/** Duplicate-free walk of an enumerable space. */
+class ExhaustiveSearch : public SearchStrategy
+{
+  public:
+    explicit ExhaustiveSearch(const MapSpace &space);
+
+    const char *name() const override { return "exhaustive"; }
+    std::vector<SearchCandidate> propose(int max_count) override;
+
+  private:
+    const MapSpace &space_;
+    std::int64_t next_ = 0;
+};
+
+/** Random warmup, then greedy neighborhood refinement with random
+ *  restarts on stall. */
+class HybridSearch : public SearchStrategy
+{
+  public:
+    /**
+     * @param warmup random candidates drawn before refinement starts
+     *        (also the restart batch size when refinement stalls).
+     */
+    HybridSearch(const MapSpace &space, std::uint64_t seed,
+                 std::int64_t warmup);
+
+    const char *name() const override { return "hybrid"; }
+    std::vector<SearchCandidate> propose(int max_count) override;
+    void observe(const std::vector<SearchCandidate> &batch,
+                 const std::vector<double> &objectives) override;
+
+  private:
+    std::vector<SearchCandidate> proposeRandom(int count);
+
+    const MapSpace &space_;
+    std::uint64_t seed_;
+    std::int64_t warmup_;          ///< random window size (warmup/restart)
+    std::int64_t random_left_ = 0; ///< random proposals left in window
+    std::int64_t next_ = 0;        ///< next proposal index
+    std::int64_t next_seed_ = 0;   ///< next random sample offset
+    /**
+     * Refinement-round state. A round fixes the incumbent's full
+     * neighborhood up front and streams it out across propose() calls
+     * (`pending_` not yet proposed, `outstanding_` proposed but not
+     * yet observed); the improve-or-restart decision falls only at the
+     * round boundary. This keeps the proposal sequence — and hence the
+     * search result — independent of the driver's batch size.
+     */
+    std::vector<MapSpace::Point> pending_;
+    std::int64_t outstanding_ = 0;
+    bool round_improved_ = false;
+    bool refining_ = false;        ///< last batch was a neighborhood
+    std::optional<MapSpace::Point> incumbent_;
+    double incumbent_obj_ = 0.0;
+};
+
+/**
+ * Build the strategy for @p kind. `Auto` resolves to exhaustive when
+ * `space.size().enumerable` fits within @p budget, else random.
+ */
+std::unique_ptr<SearchStrategy>
+makeSearchStrategy(SearchStrategyKind kind, const MapSpace &space,
+                   std::uint64_t seed, std::int64_t budget,
+                   std::int64_t hybrid_warmup);
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_MAPPER_SEARCH_STRATEGY_HH

@@ -12,6 +12,24 @@
 
 namespace sparseloop {
 
+bool
+operator==(const Loop &a, const Loop &b)
+{
+    return a.dim == b.dim && a.bound == b.bound && a.spatial == b.spatial;
+}
+
+bool
+operator==(const LevelNest &a, const LevelNest &b)
+{
+    return a.loops == b.loops && a.keep == b.keep;
+}
+
+bool
+operator==(const Mapping &a, const Mapping &b)
+{
+    return a.levels() == b.levels();
+}
+
 void
 Mapping::validate(const Workload &workload, const Architecture &arch) const
 {

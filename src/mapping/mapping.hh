@@ -28,6 +28,9 @@ struct Loop
     bool spatial = false;     ///< parallel-for?
 };
 
+bool operator==(const Loop &a, const Loop &b);
+inline bool operator!=(const Loop &a, const Loop &b) { return !(a == b); }
+
 /** The subnest owned by one storage level, outermost loop first. */
 struct LevelNest
 {
@@ -44,6 +47,12 @@ struct LevelNest
         return keep.empty() || keep[static_cast<std::size_t>(t)];
     }
 };
+
+bool operator==(const LevelNest &a, const LevelNest &b);
+inline bool operator!=(const LevelNest &a, const LevelNest &b)
+{
+    return !(a == b);
+}
 
 /**
  * A complete mapping: one subnest per storage level (same order as the
@@ -99,6 +108,18 @@ class Mapping
   private:
     std::vector<LevelNest> levels_;
 };
+
+/**
+ * Structural equality: same levels, loops (dim, bound, spatial flag),
+ * and keep masks. Note an empty keep mask (keep-all) compares unequal
+ * to an explicit all-true mask even though both behave identically —
+ * the same convention `signature()` uses.
+ */
+bool operator==(const Mapping &a, const Mapping &b);
+inline bool operator!=(const Mapping &a, const Mapping &b)
+{
+    return !(a == b);
+}
 
 /**
  * Small helper to assemble mappings by name:

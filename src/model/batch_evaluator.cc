@@ -161,4 +161,42 @@ BatchEvaluator::evaluateBatch(const std::vector<EvalPoint> &points,
     return results;
 }
 
+std::vector<EvalResult>
+BatchEvaluator::evaluateMappings(
+    const Workload &workload,
+    const std::vector<const Mapping *> &mappings, const SafSpec &safs,
+    BatchStats *stats) const
+{
+    std::vector<EvalPoint> points;
+    points.reserve(mappings.size());
+    for (const Mapping *mapping : mappings) {
+        points.push_back({&workload, mapping, &safs});
+    }
+    try {
+        return evaluateBatch(points, stats);
+    } catch (const FatalError &) {
+        // A malformed candidate aborted the batched path; retry
+        // point-wise so only the offending mappings are lost (each
+        // comes back invalid instead of sinking the whole batch).
+    }
+    std::vector<EvalResult> results;
+    results.reserve(points.size());
+    for (const EvalPoint &p : points) {
+        try {
+            results.push_back(evaluate(*p.workload, *p.mapping, *p.safs));
+        } catch (const FatalError &err) {
+            EvalResult bad;
+            bad.valid = false;
+            bad.invalid_reason = err.what();
+            results.push_back(std::move(bad));
+        }
+    }
+    if (stats) {
+        stats->points = static_cast<std::int64_t>(points.size());
+        stats->unique_points = stats->points;
+        stats->dense_groups = 0;
+    }
+    return results;
+}
+
 } // namespace sparseloop

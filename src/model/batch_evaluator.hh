@@ -112,6 +112,24 @@ class BatchEvaluator
     evaluateBatch(const std::vector<EvalPoint> &points,
                   BatchStats *stats = nullptr) const;
 
+    /**
+     * Batch hook for candidate searches: evaluate many mappings of one
+     * (workload, SAF-spec) pair. Unlike `evaluateBatch`, a mapping
+     * that makes the engine throw `FatalError` does not abort the
+     * batch: the batched path is retried point-wise and the offending
+     * mappings come back as invalid results carrying the error text in
+     * `invalid_reason`. The well-formed mappings' results stay
+     * bit-identical to `engine().evaluate` on them.
+     *
+     * @param mappings candidate mappings (pointers must be non-null
+     *        and alive until the call returns).
+     */
+    std::vector<EvalResult>
+    evaluateMappings(const Workload &workload,
+                     const std::vector<const Mapping *> &mappings,
+                     const SafSpec &safs,
+                     BatchStats *stats = nullptr) const;
+
     /** Resolved worker count for @p jobs parallel jobs. */
     int threadCount(std::size_t jobs) const;
 

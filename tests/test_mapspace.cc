@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the mapspace IR: constraint validation and pruning-by-
+ * construction, exact size accounting, indexed enumeration, the
+ * coordinate (Point) form, and empty-space detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "mapper/mapper.hh"
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace {
+
+Architecture
+searchArch()
+{
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    dram.bandwidth_words_per_cycle = 16.0;
+    dram.fanout = 4;
+    StorageLevelSpec buf;
+    buf.name = "Buffer";
+    buf.capacity_words = 4096;
+    buf.bandwidth_words_per_cycle = 8.0;
+    return Architecture("search", {dram, buf}, ComputeSpec{});
+}
+
+TEST(MapSpace, SizeAccountingMatchesEnumeration)
+{
+    Workload w = makeMatmul(4, 4, 4);
+    Architecture arch = searchArch();
+    MapSpace space(w, arch);
+    ASSERT_FALSE(space.empty());
+    const MapSpaceSize &size = space.size();
+    ASSERT_TRUE(size.exact);
+    ASSERT_GE(size.enumerable, 0);
+    EXPECT_DOUBLE_EQ(size.points,
+                     static_cast<double>(size.enumerable));
+
+    // Each dimension's bound 4 = 2^2 splits across 2 levels in
+    // C(2+1, 1) = 3 ways.
+    for (int d = 0; d < w.dimCount(); ++d) {
+        EXPECT_EQ(space.splitCount(d), 3);
+        EXPECT_EQ(space.splits(d).size(), 3u);
+    }
+
+    // The enumeration is valid, in-space, and duplicate-free — so the
+    // reported size is the exact number of distinct mappings.
+    std::set<std::uint64_t> signatures;
+    for (std::int64_t i = 0; i < size.enumerable; ++i) {
+        Mapping m = space.mappingAt(i);
+        m.validate(w, arch);
+        EXPECT_TRUE(space.satisfies(m));
+        signatures.insert(m.signature());
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(signatures.size()),
+              size.enumerable);
+}
+
+TEST(MapSpace, ConstraintsPruneByConstruction)
+{
+    Workload w = makeMatmul(16, 16, 16);
+    Architecture arch = searchArch();
+    MapspaceConstraints cons;
+    cons.levels.resize(2);
+    // Buffer level admits only M and K: N may not be tiled there.
+    cons.levels[1].loop_order = {w.dimIndex("M"), w.dimIndex("K")};
+    MapSpace space(w, arch, cons);
+    ASSERT_FALSE(space.empty());
+
+    // The tiling axis of N is pruned to DRAM-only splits.
+    const int n = w.dimIndex("N");
+    EXPECT_EQ(space.splitCount(n), 1);
+    for (const auto &split : space.splits(n)) {
+        EXPECT_EQ(split[1], 1);
+    }
+    EXPECT_EQ(space.allowedLevels(n), std::vector<int>{0});
+
+    // Every sampled candidate satisfies the constraints: sampling is
+    // rejection-free by construction.
+    for (std::uint64_t seed = 0; seed < 500; ++seed) {
+        Mapping m = space.sampleMapping(seed);
+        m.validate(w, arch);
+        EXPECT_TRUE(space.satisfies(m));
+    }
+}
+
+TEST(MapSpace, SampledCandidatesEncodeAndRoundtrip)
+{
+    Workload w = makeMatmul(16, 16, 16);
+    Architecture arch = searchArch();
+    MapSpace space(w, arch);
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        Mapping m = space.sampleMapping(seed);
+        auto point = space.encode(m);
+        ASSERT_TRUE(point.has_value()) << "seed " << seed;
+        EXPECT_EQ(space.materialize(*point), m);
+    }
+}
+
+TEST(MapSpace, NeighborsStayInSpace)
+{
+    Workload w = makeMatmul(16, 16, 16);
+    Architecture arch = searchArch();
+    MapspaceConstraints cons;
+    cons.levels.resize(2);
+    cons.levels[1].loop_order = {w.dimIndex("M"), w.dimIndex("K")};
+    MapSpace space(w, arch, cons);
+    Mapping m = space.sampleMapping(7);
+    auto point = space.encode(m);
+    ASSERT_TRUE(point.has_value());
+    auto neighbors = space.neighbors(*point);
+    EXPECT_FALSE(neighbors.empty());
+    for (const auto &p : neighbors) {
+        Mapping nm = space.materialize(p);
+        nm.validate(w, arch);
+        EXPECT_TRUE(space.satisfies(nm));
+    }
+}
+
+TEST(MapSpace, EmptySpaceIsDetectedAndSurfaced)
+{
+    Workload w = makeMatmul(8, 8, 8);
+    Architecture arch = searchArch();
+    MapspaceConstraints cons;
+    cons.levels.resize(2);
+    // N is excluded from every level: no mapping can cover it.
+    cons.levels[0].loop_order = {w.dimIndex("M"), w.dimIndex("K")};
+    cons.levels[1].loop_order = {w.dimIndex("M"), w.dimIndex("K")};
+    MapSpace space(w, arch, cons);
+    EXPECT_TRUE(space.empty());
+    EXPECT_EQ(space.size().enumerable, 0);
+
+    // The mapper surfaces the empty space as a distinguishable status
+    // instead of a bare found=false.
+    SafSpec none;
+    MapperResult r = Mapper(w, arch, none, {}, cons).search();
+    EXPECT_FALSE(r.found);
+    EXPECT_EQ(r.status, SearchStatus::kEmptyMapSpace);
+    EXPECT_EQ(r.candidates_evaluated, 0);
+}
+
+TEST(MapSpace, ExploreBypassExpandsTheKeepAxis)
+{
+    Workload w = makeMatmul(4, 4, 4);
+    Architecture arch = searchArch();
+    MapSpace plain(w, arch);
+    MapSpaceOptions opts;
+    opts.explore_bypass = true;
+    MapSpace bypass(w, arch, {}, opts);
+    // 2^3 keep masks at the non-outermost level.
+    EXPECT_EQ(plain.keepChoices(1).size(), 1u);
+    EXPECT_EQ(bypass.keepChoices(1).size(), 8u);
+    EXPECT_GT(bypass.size().points, plain.size().points);
+}
+
+TEST(MapSpaceConstraints, ValidationRejectsBrokenConstraints)
+{
+    Workload w = makeMatmul(8, 8, 8);
+    Architecture arch = searchArch();
+    SafSpec none;
+    {
+        // Wrong level count (the pre-existing check).
+        MapspaceConstraints cons;
+        cons.levels.resize(1);
+        EXPECT_THROW(Mapper(w, arch, none, {}, cons), FatalError);
+    }
+    {
+        // Duplicate dimension in loop_order.
+        MapspaceConstraints cons;
+        cons.levels.resize(2);
+        cons.levels[1].loop_order = {0, 1, 0};
+        EXPECT_THROW(Mapper(w, arch, none, {}, cons), FatalError);
+    }
+    {
+        // Out-of-range dimension in spatial_dims.
+        MapspaceConstraints cons;
+        cons.levels.resize(2);
+        cons.levels[0].spatial_dims = {w.dimCount()};
+        EXPECT_THROW(Mapper(w, arch, none, {}, cons), FatalError);
+    }
+    {
+        // Out-of-range tensor in keep.
+        MapspaceConstraints cons;
+        cons.levels.resize(2);
+        cons.levels[1].keep = {-1};
+        EXPECT_THROW(Mapper(w, arch, none, {}, cons), FatalError);
+    }
+    {
+        // Duplicate tensor in keep.
+        MapspaceConstraints cons;
+        cons.levels.resize(2);
+        cons.levels[1].keep = {1, 1};
+        EXPECT_THROW(Mapper(w, arch, none, {}, cons), FatalError);
+    }
+}
+
+} // namespace
+} // namespace sparseloop
