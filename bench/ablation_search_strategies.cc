@@ -1,7 +1,8 @@
 /**
  * @file
- * Ablation: search strategies over the mapspace IR vs the pre-IR
- * rejection sampler, on a constrained spMspM mapper search.
+ * Ablation: the five search strategies over the mapspace IR vs the
+ * pre-IR rejection sampler, on a constrained spMspM mapper search —
+ * plus a warm-started sweep A/B on sibling co-design points.
  *
  * The pre-IR mapper fused constraint handling into rejection sampling:
  * every candidate whose random tiling put a factor on a constrained-out
@@ -12,16 +13,25 @@
  * the auto-selected exhaustive strategy additionally guarantees the
  * optimum whenever the pruned space fits the budget.
  *
- * Reported per row: candidates proposed / evaluated / valid, the
- * valid-candidate rate, best EDP, and wall-clock.
+ * Part 1 compares all five strategies (random, hybrid, annealing,
+ * genetic, exhaustive) at an equal evaluation budget: candidates
+ * proposed / evaluated / valid, the valid-candidate rate, best EDP /
+ * cycles / energy, and wall-clock. Part 2 replays the
+ * `examples/spmspm_design_space.cpp` pattern: two SAF variants of one
+ * dataflow searched in sequence, cold vs warm-started through a
+ * `WarmStartPool`, asserting the warm search is equal-or-better at
+ * the same total budget (its round 0 re-evaluates the neighbor's
+ * elite, so the structure transfer is free).
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <random>
 
+#include "apps/designs.hh"
 #include "bench/bench_util.hh"
 #include "common/mathutil.hh"
 #include "mapper/mapper.hh"
@@ -119,6 +129,8 @@ struct Row
     std::int64_t evaluated = 0;
     std::int64_t valid = 0;
     double best_edp = std::numeric_limits<double>::infinity();
+    double best_cycles = 0.0;
+    double best_energy_uj = 0.0;
     double seconds = 0.0;
 };
 
@@ -129,11 +141,12 @@ printRow(const Row &row)
         ? static_cast<double>(row.evaluated) /
             static_cast<double>(row.proposed)
         : 0.0;
-    std::printf("%-16s %-10lld %-10lld %-10lld %-11.3f %-14.4g %-8.3f\n",
-                row.name, static_cast<long long>(row.proposed),
-                static_cast<long long>(row.evaluated),
-                static_cast<long long>(row.valid), rate, row.best_edp,
-                row.seconds);
+    std::printf(
+        "%-14s %-9lld %-10lld %-9lld %-11.3f %-12.4g %-11.0f %-10.2f %-8.3f\n",
+        row.name, static_cast<long long>(row.proposed),
+        static_cast<long long>(row.evaluated),
+        static_cast<long long>(row.valid), rate, row.best_edp,
+        row.best_cycles, row.best_energy_uj, row.seconds);
 }
 
 } // namespace
@@ -169,9 +182,10 @@ main()
     const int budget = 1200;
     const std::uint64_t seed = 0xC0FFEE;
 
-    std::printf("%-16s %-10s %-10s %-10s %-11s %-14s %-8s\n",
+    std::printf("%-14s %-9s %-10s %-9s %-11s %-12s %-11s %-10s %-8s\n",
                 "strategy", "proposed", "evaluated", "valid",
-                "valid-rate", "best-EDP", "seconds");
+                "valid-rate", "best-EDP", "best-cyc", "best-uJ",
+                "seconds");
 
     // Pre-IR baseline: rejection sampling burns budget on draws the
     // constraints then discard.
@@ -191,7 +205,11 @@ main()
                 continue;
             }
             ++legacy.valid;
-            legacy.best_edp = std::min(legacy.best_edp, eval.edp());
+            if (eval.edp() < legacy.best_edp) {
+                legacy.best_edp = eval.edp();
+                legacy.best_cycles = eval.cycles;
+                legacy.best_energy_uj = eval.energy_pj / 1e6;
+            }
         }
     });
     printRow(legacy);
@@ -201,6 +219,7 @@ main()
     double overall_best = legacy.best_edp;
     for (SearchStrategyKind kind :
          {SearchStrategyKind::Random, SearchStrategyKind::Hybrid,
+          SearchStrategyKind::Annealing, SearchStrategyKind::Genetic,
           SearchStrategyKind::Exhaustive}) {
         MapperOptions opts;
         opts.samples = budget;
@@ -211,14 +230,21 @@ main()
         MapperResult r;
         Row row;
         row.seconds = bench::timeSeconds([&] { r = mapper.search(); });
-        row.name = r.strategy == "random" ? "ir-random"
-            : r.strategy == "hybrid"     ? "ir-hybrid"
-                                         : "ir-exhaustive";
+        static const char *names[] = {"ir-random", "ir-hybrid",
+                                      "ir-annealing", "ir-genetic",
+                                      "ir-exhaustive"};
+        row.name = r.strategy == "random" ? names[0]
+            : r.strategy == "hybrid"     ? names[1]
+            : r.strategy == "annealing"  ? names[2]
+            : r.strategy == "genetic"    ? names[3]
+                                         : names[4];
         row.proposed = r.candidates_evaluated;
         row.evaluated = r.candidates_evaluated;
         row.valid = r.candidates_valid;
         if (r.found) {
             row.best_edp = r.eval.edp();
+            row.best_cycles = r.eval.cycles;
+            row.best_energy_uj = r.eval.energy_pj / 1e6;
         }
         printRow(row);
         overall_best = std::min(overall_best, row.best_edp);
@@ -254,6 +280,120 @@ main()
     if (exhaustive_best > overall_best + 1e-9) {
         std::printf("FAIL: exhaustive missed an optimum another "
                     "strategy found\n");
+        ok = false;
+    }
+
+    // -----------------------------------------------------------------
+    // Part 1b: strategy quality at a tight budget. A much larger
+    // unconstrained space where the budget covers a tiny fraction of
+    // the points, so the strategies' search behavior (not coverage)
+    // decides the outcome. No ordering assertion — the point is the
+    // measured comparison at equal budgets.
+    // -----------------------------------------------------------------
+    std::printf("\n== strategy quality at a tight budget "
+                "(three-level 128^3 spMspM, budget 300) ==\n");
+    Workload tight_w = makeMatmul(128, 128, 128);
+    bindUniformDensities(tight_w, {{"A", 0.05}, {"B", 0.05}});
+    StorageLevelSpec l2;
+    l2.name = "L2";
+    l2.capacity_words = 65536;
+    l2.bandwidth_words_per_cycle = 32.0;
+    l2.fanout = 16;
+    StorageLevelSpec l1;
+    l1.name = "L1";
+    l1.capacity_words = 1024;
+    l1.bandwidth_words_per_cycle = 8.0;
+    Architecture tight_arch("tight", {dram, l2, l1}, ComputeSpec{});
+    std::printf("%-14s %-12s %-11s %-10s %-8s\n", "strategy",
+                "best-EDP", "best-cyc", "best-uJ", "seconds");
+    for (SearchStrategyKind kind :
+         {SearchStrategyKind::Random, SearchStrategyKind::Hybrid,
+          SearchStrategyKind::Annealing, SearchStrategyKind::Genetic}) {
+        MapperOptions opts;
+        opts.samples = 300;
+        opts.seed = seed;
+        opts.strategy = kind;
+        Mapper mapper(tight_w, tight_arch, safs, opts);
+        MapperResult r;
+        double seconds =
+            bench::timeSeconds([&] { r = mapper.search(); });
+        if (!r.found) {
+            std::printf("FAIL: %s found no valid mapping\n",
+                        r.strategy.c_str());
+            ok = false;
+            continue;
+        }
+        std::printf("%-14s %-12.4g %-11.0f %-10.2f %-8.3f\n",
+                    r.strategy.c_str(), r.eval.edp(), r.eval.cycles,
+                    r.eval.energy_pj / 1e6, seconds);
+    }
+
+    // -----------------------------------------------------------------
+    // Part 2: warm-started sweep A/B. Two SAF variants of one co-design
+    // dataflow (the examples/spmspm_design_space.cpp sweep structure,
+    // Sec. 7.2): search them in sequence, cold vs sharing a
+    // WarmStartPool, at the same per-design budget.
+    // -----------------------------------------------------------------
+    std::printf("\n== warm-started sweep (sibling SAF variants, "
+                "annealing, equal budgets) ==\n");
+    Workload sweep_w = makeMatmul(256, 256, 256);
+    bindUniformDensities(sweep_w, {{"A", 0.01}, {"B", 0.01}});
+    apps::DesignPoint first = apps::buildCoDesign(
+        sweep_w, apps::CoDesignDataflow::ReuseAZ,
+        apps::CoDesignSafs::InnermostSkip);
+    apps::DesignPoint second = apps::buildCoDesign(
+        sweep_w, apps::CoDesignDataflow::ReuseAZ,
+        apps::CoDesignSafs::HierarchicalSkip);
+
+    MapperOptions sweep_opts;
+    sweep_opts.samples = 160;
+    sweep_opts.seed = seed;
+    sweep_opts.strategy = SearchStrategyKind::Annealing;
+
+    MapperResult cold_first =
+        Mapper(sweep_w, first.arch, first.safs, sweep_opts).search();
+    MapperResult cold_second =
+        Mapper(sweep_w, second.arch, second.safs, sweep_opts).search();
+
+    MapperOptions warm_opts = sweep_opts;
+    warm_opts.warm_start = std::make_shared<WarmStartPool>();
+    MapperResult warm_first =
+        Mapper(sweep_w, first.arch, first.safs, warm_opts).search();
+    MapperResult warm_second =
+        Mapper(sweep_w, second.arch, second.safs, warm_opts).search();
+
+    std::printf("%-28s %-12s %-12s %-6s\n", "design point", "cold-EDP",
+                "warm-EDP", "seeds");
+    std::printf("%-28s %-12.4g %-12.4g %-6lld\n", first.name.c_str(),
+                cold_first.eval.edp(), warm_first.eval.edp(),
+                static_cast<long long>(warm_first.warm_start_candidates));
+    std::printf("%-28s %-12.4g %-12.4g %-6lld\n", second.name.c_str(),
+                cold_second.eval.edp(), warm_second.eval.edp(),
+                static_cast<long long>(
+                    warm_second.warm_start_candidates));
+
+    // The first search of the warm pipeline sees an empty pool: it
+    // must be bit-identical to the cold search.
+    if (!warm_first.found ||
+        warm_first.eval.edp() != cold_first.eval.edp() ||
+        warm_first.warm_start_candidates != 0) {
+        std::printf("FAIL: empty-pool warm search diverged from the "
+                    "cold search\n");
+        ok = false;
+    }
+    // The warm-started neighbor must be equal-or-better at the same
+    // total evaluation budget. Round 0 re-evaluates the recorded
+    // elite, so warm_best <= elite-under-design-2 holds by
+    // construction; warm <= cold additionally holds at the pinned
+    // seed (the comparison is deterministic — chain seeding shifts
+    // the sampled trajectory, so it is a measured property, not an
+    // invariant for every seed).
+    if (!warm_second.found || warm_second.warm_start_candidates < 1 ||
+        warm_second.candidates_evaluated !=
+            cold_second.candidates_evaluated ||
+        warm_second.eval.edp() > cold_second.eval.edp()) {
+        std::printf("FAIL: warm-started search did not reach an "
+                    "equal-or-better mapping at the same budget\n");
         ok = false;
     }
     return ok ? 0 : 1;

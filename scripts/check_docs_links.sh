@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Fail when an intra-repo markdown link points at a missing file.
+#
+# Scans every tracked *.md file for inline links ([text](target)) and
+# checks that each relative target exists, resolved against the linking
+# file's directory. Skipped targets: absolute URLs (scheme://),
+# mailto:, pure #anchors, and targets with neither a '.' nor a '/'
+# (code-ish bracket-paren collisions inside prose, e.g. `a[0](x)`).
+# Anchors are stripped before the existence check, so `file.md#section`
+# validates `file.md`.
+#
+# Usage: scripts/check_docs_links.sh   (exits 1 on any broken link)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+fail=0
+while IFS= read -r md; do
+    dir="$(dirname "${md}")"
+    # Pull out every](target) group; tolerate files with no links.
+    while IFS= read -r target; do
+        [[ -z "${target}" ]] && continue
+        case "${target}" in
+            *://*|mailto:*|\#*) continue ;;
+        esac
+        # Strip a trailing #anchor and an optional "title".
+        target="${target%%#*}"
+        target="${target%% \"*}"
+        [[ -z "${target}" ]] && continue
+        # Heuristic: real intra-repo targets contain a dot or a slash.
+        if [[ "${target}" != *.* && "${target}" != */* ]]; then
+            continue
+        fi
+        if [[ ! -e "${dir}/${target}" && ! -e "${target}" ]]; then
+            echo "BROKEN LINK: ${md}: (${target})"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "${md}" | sed -E 's/^\]\(//; s/\)$//')
+done < <(git ls-files '*.md' 2>/dev/null || find . -name '*.md' -not -path './build*')
+
+if [[ "${fail}" -ne 0 ]]; then
+    echo "docs link check failed (see BROKEN LINK lines above)"
+    exit 1
+fi
+echo "docs link check passed"

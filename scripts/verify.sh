@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build everything (library, test
 # binaries, benches, examples), run the full CTest suite, smoke-run
-# the search-strategy ablation, and — when doxygen is installed — run
-# the API-docs check (warnings in src/model and src/mapper are errors,
-# mirroring the CI docs job). A second explicit Release (-O2/NDEBUG)
-# build-and-ctest pass runs alongside the default config; skip it with
+# the search-strategy ablation, check intra-repo markdown links, and —
+# when doxygen is installed — run the API-docs check (warnings in
+# src/model, src/mapper, and src/common are errors, mirroring the CI
+# docs job). A second explicit Release (-O2/NDEBUG) build-and-ctest
+# pass runs alongside the default config; skip it with
 # SPARSELOOP_SKIP_RELEASE=1.
 # Usage: scripts/verify.sh [build-dir]
 set -euo pipefail
@@ -27,6 +28,9 @@ if [[ "${SPARSELOOP_SKIP_RELEASE:-0}" != "1" ]]; then
     cmake --build "${release_dir}" -j
     ctest --test-dir "${release_dir}" --output-on-failure -j
 fi
+
+echo "== docs link check (intra-repo markdown links) =="
+"${repo_root}/scripts/check_docs_links.sh"
 
 if command -v doxygen >/dev/null 2>&1; then
     echo "== docs check (doxygen, warnings are errors) =="

@@ -54,10 +54,31 @@ Mapper::searchWithThreads(int num_threads) const
         return result;
     }
 
+    SearchTuning tuning;
+    tuning.hybrid_warmup = options_.hybrid_warmup;
+    tuning.annealing = options_.annealing;
+    tuning.genetic = options_.genetic;
     auto strategy = makeSearchStrategy(
         options_.strategy, *space_, options_.seed, options_.samples,
-        options_.hybrid_warmup);
+        tuning);
     result.strategy = strategy->name();
+
+    // Warm starts: re-encode the pool's elite mappings into this
+    // search's pruned space (elites from incompatible design points
+    // fail to encode and are skipped) and seed the strategy.
+    if (options_.warm_start) {
+        std::vector<MapSpace::Point> starts;
+        for (const Mapping &elite : options_.warm_start->elites()) {
+            if (auto point = space_->encode(elite)) {
+                starts.push_back(*std::move(point));
+            }
+        }
+        result.warm_start_candidates =
+            static_cast<std::int64_t>(starts.size());
+        if (!starts.empty()) {
+            strategy->warmStart(starts);
+        }
+    }
 
     BatchEvaluatorOptions bopts;
     bopts.num_threads = num_threads;
@@ -111,6 +132,9 @@ Mapper::searchWithThreads(int num_threads) const
 
     if (result.found) {
         result.status = SearchStatus::kFound;
+        if (options_.warm_start) {
+            options_.warm_start->record(result.mapping, best_obj);
+        }
     } else {
         result.status = SearchStatus::kNoValidCandidate;
         if (result.candidates_evaluated > 0) {

@@ -7,7 +7,8 @@
  *  - `MapSpace` (mapper/mapspace.hh) — the IR: constraint-pruned
  *    tiling / permutation / spatial / keep axes with size accounting.
  *  - `SearchStrategy` (mapper/search_strategy.hh) — candidate
- *    generation: random, exhaustive, or hybrid refinement.
+ *    generation: random, exhaustive, hybrid refinement, simulated
+ *    annealing, or genetic search.
  *  - `Mapper` (this file) — the driver: pulls candidate batches from
  *    the strategy, evaluates them through `BatchEvaluator` (dedupe,
  *    dense-prefix grouping, optional shared `EvalCache`, worker pool),
@@ -28,6 +29,7 @@
 #include <string>
 
 #include "mapper/search_strategy.hh"
+#include "mapper/warm_start.hh"
 #include "model/batch_evaluator.hh"
 
 namespace sparseloop {
@@ -58,6 +60,22 @@ struct MapperOptions
     int batch_size = 256;
     /** HybridSearch warmup/restart window; 0 = samples / 4. */
     int hybrid_warmup = 0;
+    /** AnnealingSearch knobs (used when strategy == Annealing). */
+    AnnealingOptions annealing;
+    /** GeneticSearch knobs (used when strategy == Genetic). */
+    GeneticOptions genetic;
+    /**
+     * Optional cross-design-point warm-start pool for sweep drivers.
+     * When set, pool elites that re-encode into this search's pruned
+     * mapspace are offered to the strategy as starting points
+     * (annealing chains, genetic generation 0, hybrid pre-warmup
+     * candidates; random and exhaustive ignore them), and on success
+     * the search's best mapping is recorded back into the pool. Warm
+     * candidates the strategy does use are
+     * proposed and evaluated like any others, so they count against
+     * `samples` and results stay bit-identical across thread counts.
+     */
+    std::shared_ptr<WarmStartPool> warm_start;
     /** Axis materialization limits and opt-in bypass exploration. */
     MapSpaceOptions mapspace;
     /**
@@ -102,6 +120,15 @@ struct MapperResult
     std::string strategy;
     /** Size report of the pruned mapspace the search ran over. */
     MapSpaceSize mapspace_size;
+    /**
+     * Warm-start elites that re-encoded into this search's mapspace
+     * and were offered to the strategy (0 without a pool). The
+     * strategy may use fewer: annealing seeds at most
+     * `AnnealingOptions::chains`, genetic at most
+     * `GeneticOptions::population`, and random/exhaustive ignore
+     * starting points entirely.
+     */
+    std::int64_t warm_start_candidates = 0;
 };
 
 class Mapper
@@ -126,7 +153,9 @@ class Mapper
      */
     MapperResult searchWithThreads(int num_threads) const;
 
+    /** The options this mapper was constructed with. */
     const MapperOptions &options() const { return options_; }
+    /** The constraints the mapspace was pruned with. */
     const MapspaceConstraints &constraints() const
     {
         return constraints_;

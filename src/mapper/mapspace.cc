@@ -646,52 +646,99 @@ MapSpace::encode(const Mapping &mapping) const
     return point;
 }
 
+MapSpace::Point
+MapSpace::reconcile(Point point) const
+{
+    const int S = levelCount();
+    auto nf = tilingFactors(point.tiling);
+    for (int l = 0; l < S; ++l) {
+        const auto &lf = nf[static_cast<std::size_t>(l)];
+        std::vector<int> order;
+        if (orderConstrained(l)) {
+            for (int d : level_cons_[static_cast<std::size_t>(l)]
+                             .loop_order) {
+                if (lf[static_cast<std::size_t>(d)] > 1) {
+                    order.push_back(d);
+                }
+            }
+        } else {
+            for (int d : point.order[static_cast<std::size_t>(l)]) {
+                if (lf[static_cast<std::size_t>(d)] > 1) {
+                    order.push_back(d);
+                }
+            }
+            for (int d = 0; d < dimCount(); ++d) {
+                if (lf[static_cast<std::size_t>(d)] > 1 &&
+                    std::find(order.begin(), order.end(), d) ==
+                        order.end()) {
+                    order.push_back(d);
+                }
+            }
+        }
+        point.order[static_cast<std::size_t>(l)] = std::move(order);
+        auto candidates = spatialCandidates(l, lf);
+        int &spatial = point.spatial[static_cast<std::size_t>(l)];
+        if (std::find(candidates.begin(), candidates.end(), spatial) ==
+            candidates.end()) {
+            spatial = candidates.empty() ? -1 : candidates.front();
+        }
+    }
+    return point;
+}
+
+MapSpace::Point
+MapSpace::samplePoint(std::uint64_t seed) const
+{
+    SL_ASSERT(pointEncodable(),
+              "samplePoint requires every tiling axis materialized");
+    auto point = encode(sampleMapping(seed));
+    SL_ASSERT(point.has_value(),
+              "a sampled mapping failed to encode into its own space");
+    return *std::move(point);
+}
+
+MapSpace::Point
+MapSpace::crossover(const Point &a, const Point &b,
+                    std::mt19937_64 &rng) const
+{
+    std::uniform_int_distribution<int> coin(0, 1);
+    Point child = a;
+    for (std::size_t d = 0; d < child.tiling.size(); ++d) {
+        if (coin(rng)) {
+            child.tiling[d] = b.tiling[d];
+        }
+    }
+    for (std::size_t l = 0; l < child.order.size(); ++l) {
+        if (coin(rng)) {
+            child.order[l] = b.order[l];
+        }
+        if (coin(rng)) {
+            child.spatial[l] = b.spatial[l];
+        }
+        if (coin(rng)) {
+            child.keep[l] = b.keep[l];
+        }
+    }
+    return reconcile(std::move(child));
+}
+
+std::optional<MapSpace::Point>
+MapSpace::randomNeighbor(const Point &point, std::mt19937_64 &rng) const
+{
+    std::vector<Point> moves = neighbors(point);
+    if (moves.empty()) {
+        return std::nullopt;
+    }
+    std::uniform_int_distribution<std::size_t> pick(0, moves.size() - 1);
+    return std::move(moves[pick(rng)]);
+}
+
 std::vector<MapSpace::Point>
 MapSpace::neighbors(const Point &point) const
 {
     std::vector<Point> out;
     const int S = levelCount();
     auto factors = tilingFactors(point.tiling);
-
-    // Re-validate a point after a tiling move: orders keep surviving
-    // dimensions in place, newly tiled dimensions append innermost,
-    // and the spatial pick falls back to the first candidate.
-    auto reconcile = [&](Point p) {
-        auto nf = tilingFactors(p.tiling);
-        for (int l = 0; l < S; ++l) {
-            const auto &lf = nf[static_cast<std::size_t>(l)];
-            std::vector<int> order;
-            if (orderConstrained(l)) {
-                for (int d : level_cons_[static_cast<std::size_t>(l)]
-                                 .loop_order) {
-                    if (lf[static_cast<std::size_t>(d)] > 1) {
-                        order.push_back(d);
-                    }
-                }
-            } else {
-                for (int d : p.order[static_cast<std::size_t>(l)]) {
-                    if (lf[static_cast<std::size_t>(d)] > 1) {
-                        order.push_back(d);
-                    }
-                }
-                for (int d = 0; d < dimCount(); ++d) {
-                    if (lf[static_cast<std::size_t>(d)] > 1 &&
-                        std::find(order.begin(), order.end(), d) ==
-                            order.end()) {
-                        order.push_back(d);
-                    }
-                }
-            }
-            p.order[static_cast<std::size_t>(l)] = std::move(order);
-            auto candidates = spatialCandidates(l, lf);
-            int &spatial = p.spatial[static_cast<std::size_t>(l)];
-            if (std::find(candidates.begin(), candidates.end(),
-                          spatial) == candidates.end()) {
-                spatial = candidates.empty() ? -1 : candidates.front();
-            }
-        }
-        return p;
-    };
 
     // Tiling moves: adjacent split per dimension.
     for (int d = 0; d < dimCount(); ++d) {

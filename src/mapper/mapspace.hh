@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <random>
 #include <vector>
 
 #include "mapping/mapping.hh"
@@ -149,7 +150,9 @@ class MapSpace
              MapspaceConstraints constraints = {},
              MapSpaceOptions options = {});
 
+    /** Workload dimension count (one tiling axis each). */
     int dimCount() const { return static_cast<int>(allowed_.size()); }
+    /** Architecture storage-level count. */
     int levelCount() const
     {
         return static_cast<int>(level_cons_.size());
@@ -232,6 +235,46 @@ class MapSpace
      */
     std::vector<Point> neighbors(const Point &point) const;
 
+    /**
+     * Repair a point whose tiling coordinates changed out from under
+     * its other axes (a tiling move, a crossover): at every level the
+     * loop order keeps the surviving tiled dimensions in their
+     * existing relative order and appends newly tiled dimensions
+     * innermost (constrained orders are rebuilt from the constraint),
+     * and a spatial pick that is no longer a candidate falls back to
+     * the first candidate (or none). Keep coordinates index per-level
+     * choice tables, so they stay valid and pass through unchanged.
+     * The result is always a valid in-space point.
+     */
+    Point reconcile(Point point) const;
+
+    /**
+     * The coordinate form of `sampleMapping(seed)`: the same seeded
+     * candidate derivation, returned as a `Point`. Requires
+     * `pointEncodable()`.
+     */
+    Point samplePoint(std::uint64_t seed) const;
+
+    /**
+     * Uniform axis-wise crossover of two in-space points: every
+     * tiling, order, spatial, and keep coordinate of the child comes
+     * from @p a or @p b with equal probability, after which the child
+     * is `reconcile`d — so it is a valid in-space point by
+     * construction, never a candidate that must be checked and
+     * rejected. Consumes @p rng one draw per axis in a fixed order,
+     * so a given generator state yields exactly one child.
+     */
+    Point crossover(const Point &a, const Point &b,
+                    std::mt19937_64 &rng) const;
+
+    /**
+     * A uniformly drawn entry of `neighbors(point)`, or `nullopt` for
+     * an isolated point. Consumes @p rng exactly one draw when the
+     * neighborhood is non-empty (none otherwise).
+     */
+    std::optional<Point> randomNeighbor(const Point &point,
+                                        std::mt19937_64 &rng) const;
+
     /** Post-hoc constraint check (for tests and rejection baselines). */
     bool satisfies(const Mapping &mapping) const;
 
@@ -243,12 +286,16 @@ class MapSpace
      */
     bool pointEncodable() const;
 
+    /** The constraints this space was pruned with (as passed in). */
     const MapspaceConstraints &constraints() const
     {
         return constraints_;
     }
+    /** The workload whose mappings this space contains. */
     const Workload &workload() const { return workload_; }
+    /** The architecture the mappings target. */
     const Architecture &arch() const { return arch_; }
+    /** The materialization/enumeration limits in effect. */
     const MapSpaceOptions &options() const { return options_; }
 
   private:

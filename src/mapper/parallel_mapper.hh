@@ -7,12 +7,15 @@
  * every strategy proposes candidates in a thread-count-independent
  * order and the batched evaluation is bit-identical to sequential
  * evaluation, the result is bit-identical to the sequential `Mapper`
- * at every thread count — for random, exhaustive, and hybrid search
- * alike.
+ * at every thread count — for random, exhaustive, hybrid, annealing,
+ * and genetic search alike.
  *
  * Pair the search with an `EvalCache` (via `MapperOptions::cache`) to
  * share candidate evaluations across restarts, design points, and any
- * `BatchEvaluator` sharing the same cache object.
+ * `BatchEvaluator` sharing the same cache object; pair it with a
+ * `WarmStartPool` (via `MapperOptions::warm_start`) to seed each
+ * design point's search with elite mappings from already-searched
+ * neighbors in a sweep.
  *
  * Quickstart:
  * @code

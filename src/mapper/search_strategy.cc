@@ -6,7 +6,9 @@
 #include "mapper/search_strategy.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "common/logging.hh"
 
@@ -18,6 +20,12 @@ SearchStrategy::observe(const std::vector<SearchCandidate> &batch,
 {
     (void)batch;
     (void)objectives;
+}
+
+void
+SearchStrategy::warmStart(const std::vector<MapSpace::Point> &points)
+{
+    (void)points;
 }
 
 // ---------------------------------------------------------------------------
@@ -97,11 +105,33 @@ HybridSearch::proposeRandom(int count)
     return batch;
 }
 
+void
+HybridSearch::warmStart(const std::vector<MapSpace::Point> &points)
+{
+    warm_pending_ = points;
+}
+
 std::vector<SearchCandidate>
 HybridSearch::propose(int max_count)
 {
     if (max_count <= 0) {
         return {};
+    }
+    // Warm-start points go out ahead of the random warmup; observe()
+    // adopts an improving one as the incumbent like any candidate.
+    if (!warm_pending_.empty()) {
+        std::vector<SearchCandidate> batch;
+        std::size_t take = std::min<std::size_t>(
+            static_cast<std::size_t>(max_count), warm_pending_.size());
+        for (std::size_t i = 0; i < take; ++i) {
+            batch.push_back(
+                {next_++, space_.materialize(warm_pending_[i])});
+        }
+        warm_pending_.erase(
+            warm_pending_.begin(),
+            warm_pending_.begin() + static_cast<std::ptrdiff_t>(take));
+        refining_ = false;
+        return batch;
     }
     // Warmup/restart: pure random while the exploration allowance
     // lasts. With no refinable incumbent after a window (all
@@ -176,13 +206,333 @@ HybridSearch::observe(const std::vector<SearchCandidate> &batch,
 }
 
 // ---------------------------------------------------------------------------
+// RoundStrategy
+// ---------------------------------------------------------------------------
+
+RoundStrategy::RoundStrategy(const MapSpace &space, std::uint64_t seed)
+    : space_(space), seed_(seed), degenerate_(!space.pointEncodable())
+{
+}
+
+MapSpace::Point
+RoundStrategy::nextSamplePoint()
+{
+    return space_.samplePoint(
+        seed_ + static_cast<std::uint64_t>(next_seed_++));
+}
+
+std::vector<SearchCandidate>
+RoundStrategy::propose(int max_count)
+{
+    std::vector<SearchCandidate> batch;
+    if (max_count <= 0) {
+        return batch;
+    }
+    if (degenerate_) {
+        // No coordinate form available: seeded random sampling, the
+        // same candidate derivation RandomSearch uses.
+        batch.reserve(static_cast<std::size_t>(max_count));
+        for (int i = 0; i < max_count; ++i) {
+            batch.push_back(
+                {next_++,
+                 space_.sampleMapping(
+                     seed_ + static_cast<std::uint64_t>(next_seed_++))});
+        }
+        return batch;
+    }
+    if (round_proposed_ == round_points_.size() &&
+        round_observed_ == round_points_.size()) {
+        // Previous round fully proposed and observed: fix the next
+        // round now. Streaming it out across propose() calls keeps the
+        // proposal sequence independent of the driver's batch size.
+        round_points_.clear();
+        buildRound(round_points_);
+        SL_ASSERT(!round_points_.empty(),
+                  "a search round must contain at least one point");
+        round_proposed_ = 0;
+        round_observed_ = 0;
+        round_objectives_.assign(
+            round_points_.size(),
+            std::numeric_limits<double>::infinity());
+    }
+    std::size_t take = std::min<std::size_t>(
+        static_cast<std::size_t>(max_count),
+        round_points_.size() - round_proposed_);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(
+            {next_++,
+             space_.materialize(round_points_[round_proposed_ + i])});
+    }
+    round_proposed_ += take;
+    return batch;
+}
+
+void
+RoundStrategy::observe(const std::vector<SearchCandidate> &batch,
+                       const std::vector<double> &objectives)
+{
+    SL_ASSERT(batch.size() == objectives.size(),
+              "objective feedback size mismatch");
+    if (degenerate_) {
+        return;
+    }
+    SL_ASSERT(round_observed_ + objectives.size() <= round_proposed_,
+              "observed more candidates than proposed this round");
+    for (double obj : objectives) {
+        round_objectives_[round_observed_++] = obj;
+    }
+    if (round_observed_ == round_points_.size()) {
+        roundComplete(round_points_, round_objectives_);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AnnealingSearch
+// ---------------------------------------------------------------------------
+
+AnnealingSearch::AnnealingSearch(const MapSpace &space,
+                                 std::uint64_t seed, std::int64_t budget,
+                                 AnnealingOptions options)
+    : RoundStrategy(space, seed), options_(options)
+{
+    options_.chains = std::max(1, options_.chains);
+    temperature_ = std::max(options_.initial_temperature, 1e-12);
+    const double final_t = std::min(
+        std::max(options_.final_temperature, 1e-12), temperature_);
+    if (options_.cooling > 0.0) {
+        cooling_ = std::min(options_.cooling, 1.0);
+    } else {
+        // Spread the schedule over the move rounds the budget affords
+        // (round 0 seeds the chains and takes no temperature step).
+        const std::int64_t rounds = std::max<std::int64_t>(
+            1, budget / options_.chains - 1);
+        cooling_ = std::pow(final_t / temperature_,
+                            1.0 / static_cast<double>(rounds));
+    }
+    chains_.resize(static_cast<std::size_t>(options_.chains));
+    for (std::size_t i = 0; i < chains_.size(); ++i) {
+        // Distinct deterministic streams per chain.
+        chains_[i].rng.seed(
+            seed ^ (0x9E3779B97F4A7C15ull * (i + 1)));
+    }
+}
+
+void
+AnnealingSearch::warmStart(const std::vector<MapSpace::Point> &points)
+{
+    warm_points_ = points;
+    if (warm_points_.size() > chains_.size()) {
+        warm_points_.resize(chains_.size());
+    }
+}
+
+void
+AnnealingSearch::buildRound(std::vector<MapSpace::Point> &out)
+{
+    out.reserve(chains_.size());
+    if (!initialized_) {
+        // Round 0: seed every chain — warm-start elites first, seeded
+        // random samples for the rest.
+        for (std::size_t i = 0; i < chains_.size(); ++i) {
+            out.push_back(i < warm_points_.size() ? warm_points_[i]
+                                                  : nextSamplePoint());
+        }
+        return;
+    }
+    // Move round: one uniformly drawn neighbor per chain; an isolated
+    // chain teleports to a fresh random point.
+    for (Chain &chain : chains_) {
+        auto move = space_.randomNeighbor(chain.point, chain.rng);
+        out.push_back(move ? *std::move(move) : nextSamplePoint());
+    }
+}
+
+void
+AnnealingSearch::roundComplete(
+    const std::vector<MapSpace::Point> &points,
+    const std::vector<double> &objectives)
+{
+    if (!initialized_) {
+        for (std::size_t i = 0; i < chains_.size(); ++i) {
+            chains_[i].point = points[i];
+            chains_[i].objective = objectives[i];
+        }
+        initialized_ = true;
+        return;
+    }
+    for (std::size_t i = 0; i < chains_.size(); ++i) {
+        Chain &chain = chains_[i];
+        const double current = chain.objective;
+        const double candidate = objectives[i];
+        bool accept;
+        if (candidate < current) {
+            accept = true;
+        } else if (!std::isfinite(current)) {
+            // Both invalid: keep walking so the chain can escape an
+            // all-invalid region instead of freezing on it.
+            accept = true;
+        } else if (!std::isfinite(candidate)) {
+            accept = false;
+        } else {
+            // Metropolis on the relative worsening: scale-free across
+            // objectives whose magnitudes differ by orders of
+            // magnitude (EDP vs cycles).
+            const double scale = std::max(std::abs(current), 1e-300);
+            const double worsening = (candidate - current) / scale;
+            std::uniform_real_distribution<double> unit(0.0, 1.0);
+            accept = unit(chain.rng) <
+                std::exp(-worsening / temperature_);
+        }
+        if (accept) {
+            chain.point = points[i];
+            chain.objective = candidate;
+        }
+    }
+    temperature_ *= cooling_;
+}
+
+// ---------------------------------------------------------------------------
+// GeneticSearch
+// ---------------------------------------------------------------------------
+
+GeneticSearch::GeneticSearch(const MapSpace &space, std::uint64_t seed,
+                             GeneticOptions options)
+    : RoundStrategy(space, seed), options_(options),
+      rng_(seed ^ 0xA5A5F00DCAFEBEEFull)
+{
+    options_.population = std::max(2, options_.population);
+    options_.elites =
+        std::min(std::max(0, options_.elites), options_.population - 1);
+    options_.tournament = std::max(1, options_.tournament);
+    options_.mutation_rate =
+        std::min(std::max(options_.mutation_rate, 0.0), 1.0);
+}
+
+void
+GeneticSearch::warmStart(const std::vector<MapSpace::Point> &points)
+{
+    warm_points_ = points;
+    const auto cap = static_cast<std::size_t>(options_.population);
+    if (warm_points_.size() > cap) {
+        warm_points_.resize(cap);
+    }
+}
+
+std::vector<std::size_t>
+GeneticSearch::ranked(const std::vector<Member> &members)
+{
+    std::vector<std::size_t> order(members.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (members[a].objective != members[b].objective) {
+                      return members[a].objective < members[b].objective;
+                  }
+                  return members[a].birth < members[b].birth;
+              });
+    return order;
+}
+
+std::size_t
+GeneticSearch::selectParent()
+{
+    std::uniform_int_distribution<std::size_t> pick(
+        0, parents_.size() - 1);
+    std::size_t best = pick(rng_);
+    for (int t = 1; t < options_.tournament; ++t) {
+        std::size_t challenger = pick(rng_);
+        const Member &a = parents_[best];
+        const Member &b = parents_[challenger];
+        if (b.objective < a.objective ||
+            (b.objective == a.objective && b.birth < a.birth)) {
+            best = challenger;
+        }
+    }
+    return best;
+}
+
+void
+GeneticSearch::buildRound(std::vector<MapSpace::Point> &out)
+{
+    round_births_.clear();
+    const int population = options_.population;
+    if (parents_.empty()) {
+        // Generation 0: warm-start elites first, seeded samples after.
+        out.reserve(static_cast<std::size_t>(population));
+        for (int i = 0; i < population; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            out.push_back(idx < warm_points_.size() ? warm_points_[idx]
+                                                    : nextSamplePoint());
+            round_births_.push_back(next_birth_++);
+        }
+        return;
+    }
+    // Elites survive as-is (their objectives are already known, so
+    // they are not re-proposed); the rest of the generation is bred.
+    const std::vector<std::size_t> order = ranked(parents_);
+    carried_.clear();
+    for (int e = 0; e < options_.elites; ++e) {
+        carried_.push_back(parents_[order[static_cast<std::size_t>(e)]]);
+    }
+    const int offspring =
+        population - static_cast<int>(carried_.size());
+    out.reserve(static_cast<std::size_t>(offspring));
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (int i = 0; i < offspring; ++i) {
+        const Member &pa = parents_[selectParent()];
+        const Member &pb = parents_[selectParent()];
+        MapSpace::Point child =
+            space_.crossover(pa.point, pb.point, rng_);
+        if (unit(rng_) < options_.mutation_rate) {
+            if (auto move = space_.randomNeighbor(child, rng_)) {
+                child = *std::move(move);
+            }
+        }
+        out.push_back(std::move(child));
+        round_births_.push_back(next_birth_++);
+    }
+}
+
+void
+GeneticSearch::roundComplete(
+    const std::vector<MapSpace::Point> &points,
+    const std::vector<double> &objectives)
+{
+    std::vector<Member> next = std::move(carried_);
+    carried_.clear();
+    next.reserve(next.size() + points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        next.push_back({points[i], objectives[i], round_births_[i]});
+    }
+    parents_ = std::move(next);
+}
+
+// ---------------------------------------------------------------------------
 // Factory
 // ---------------------------------------------------------------------------
+
+namespace {
+
+/** Warn once that a non-encodable space demotes coordinate-based
+ *  strategies to seeded random sampling. */
+void
+warnNotEncodable(const MapSpace &space, const char *what)
+{
+    if (!space.pointEncodable()) {
+        SL_WARN(what, ": the mapspace's tiling axes exceed the ",
+                "materialization limits, so candidates cannot be ",
+                "encoded as points; the search degenerates to pure ",
+                "random sampling");
+    }
+}
+
+} // namespace
 
 std::unique_ptr<SearchStrategy>
 makeSearchStrategy(SearchStrategyKind kind, const MapSpace &space,
                    std::uint64_t seed, std::int64_t budget,
-                   std::int64_t hybrid_warmup)
+                   const SearchTuning &tuning)
 {
     if (kind == SearchStrategyKind::Auto) {
         const std::int64_t enumerable = space.size().enumerable;
@@ -202,17 +552,20 @@ makeSearchStrategy(SearchStrategyKind kind, const MapSpace &space,
         }
         return std::make_unique<ExhaustiveSearch>(space);
       case SearchStrategyKind::Hybrid: {
-        if (!space.pointEncodable()) {
-            SL_WARN("hybrid search: the mapspace's tiling axes exceed ",
-                    "the materialization limits, so candidates cannot ",
-                    "be encoded for refinement; the search degenerates ",
-                    "to pure random sampling");
-        }
-        std::int64_t warmup = hybrid_warmup > 0
-            ? hybrid_warmup
+        warnNotEncodable(space, "hybrid search");
+        std::int64_t warmup = tuning.hybrid_warmup > 0
+            ? tuning.hybrid_warmup
             : std::max<std::int64_t>(1, budget / 4);
         return std::make_unique<HybridSearch>(space, seed, warmup);
       }
+      case SearchStrategyKind::Annealing:
+        warnNotEncodable(space, "annealing search");
+        return std::make_unique<AnnealingSearch>(space, seed, budget,
+                                                 tuning.annealing);
+      case SearchStrategyKind::Genetic:
+        warnNotEncodable(space, "genetic search");
+        return std::make_unique<GeneticSearch>(space, seed,
+                                               tuning.genetic);
       case SearchStrategyKind::Auto:
         break;
     }

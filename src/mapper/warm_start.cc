@@ -1,0 +1,71 @@
+/**
+ * @file
+ * WarmStartPool: the shared elite-mapping store for warm-started DSE
+ * sweeps.
+ */
+
+#include "mapper/warm_start.hh"
+
+#include <algorithm>
+
+namespace sparseloop {
+
+WarmStartPool::WarmStartPool(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity))
+{
+}
+
+void
+WarmStartPool::record(const Mapping &mapping, double objective)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Entry &entry : entries_) {
+        if (entry.mapping == mapping) {
+            if (objective < entry.objective) {
+                entry.objective = objective;
+                std::sort(entries_.begin(), entries_.end(),
+                          [](const Entry &a, const Entry &b) {
+                              if (a.objective != b.objective) {
+                                  return a.objective < b.objective;
+                              }
+                              return a.tick < b.tick;
+                          });
+            }
+            return;
+        }
+    }
+    Entry entry{objective, next_tick_++, mapping};
+    auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), entry,
+        [](const Entry &a, const Entry &b) {
+            if (a.objective != b.objective) {
+                return a.objective < b.objective;
+            }
+            return a.tick < b.tick;
+        });
+    entries_.insert(pos, std::move(entry));
+    if (entries_.size() > capacity_) {
+        entries_.resize(capacity_);
+    }
+}
+
+std::vector<Mapping>
+WarmStartPool::elites() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Mapping> out;
+    out.reserve(entries_.size());
+    for (const Entry &entry : entries_) {
+        out.push_back(entry.mapping);
+    }
+    return out;
+}
+
+std::size_t
+WarmStartPool::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace sparseloop

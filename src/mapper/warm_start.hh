@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cross-design-point warm starts for DSE sweeps.
+ *
+ * A sweep searches many neighboring design points — SAF variants over
+ * one dataflow, density regimes over one workload shape, scaled
+ * architectures — whose best mappings are strongly correlated. Without
+ * reuse, every design point's search restarts from scratch and spends
+ * most of its budget rediscovering the same structure. A
+ * `WarmStartPool` closes that loop: each search records its best
+ * (mapping, objective) into the shared pool, and the next design
+ * point's search re-encodes the pool's elites into its own
+ * constraint-pruned `MapSpace` and uses them as starting points
+ * (annealing chain seeds, genetic generation-0 members, hybrid
+ * pre-warmup candidates).
+ *
+ * Re-encoding is the safety valve: `MapSpace::encode` fails cleanly
+ * for a mapping that does not fit the consuming space (different
+ * storage-level count, tile factors that do not divide the new
+ * workload's bounds, a constraint violation), so elites from an
+ * incompatible design point are silently skipped instead of breaking
+ * the search. Warm candidates are proposed and evaluated like any
+ * others — they count against the sample budget and preserve the
+ * bit-identity of results across thread counts.
+ *
+ * Quickstart (a sweep driver):
+ * @code
+ *   auto pool = std::make_shared<WarmStartPool>();
+ *   for (const DesignPoint &design : sweep) {
+ *       MapperOptions opts;
+ *       opts.strategy = SearchStrategyKind::Annealing;
+ *       opts.warm_start = pool;  // seeded by earlier design points
+ *       MapperResult r =
+ *           ParallelMapper(w, design.arch, design.safs, opts).search();
+ *       // r.warm_start_candidates: elites that re-encoded and seeded
+ *       // this search; r.mapping was recorded back into the pool.
+ *   }
+ * @endcode
+ */
+
+#ifndef SPARSELOOP_MAPPER_WARM_START_HH
+#define SPARSELOOP_MAPPER_WARM_START_HH
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "mapping/mapping.hh"
+
+namespace sparseloop {
+
+/**
+ * A bounded, thread-safe pool of elite (mapping, objective) pairs
+ * shared across the searches of a DSE sweep. Entries are ranked by
+ * objective (lower is better; insertion order breaks ties, older
+ * first) and the pool keeps only the `capacity` best. Objectives from
+ * different design points are not strictly comparable — the ranking
+ * is a heuristic for which structures are worth re-seeding, and every
+ * consuming search re-evaluates the elites under its own design
+ * anyway.
+ */
+class WarmStartPool
+{
+  public:
+    /** @param capacity elites retained (the `capacity` best seen). */
+    explicit WarmStartPool(std::size_t capacity = 16);
+
+    /**
+     * Record one elite. A mapping equal to an existing entry never
+     * duplicates: it keeps the better of the two objectives. Entries
+     * beyond the capacity best are dropped.
+     */
+    void record(const Mapping &mapping, double objective);
+
+    /** The pooled elite mappings, best objective first. */
+    std::vector<Mapping> elites() const;
+
+    /** Current entry count (<= capacity). */
+    std::size_t size() const;
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    /** One pooled elite; `tick` is the insertion rank (tie-break). */
+    struct Entry
+    {
+        double objective;
+        std::int64_t tick;
+        Mapping mapping;
+    };
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::int64_t next_tick_ = 0;
+    /** Sorted by (objective, tick), best first. */
+    std::vector<Entry> entries_;
+};
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_MAPPER_WARM_START_HH

@@ -3,8 +3,11 @@
  * Tests for the pluggable search strategies and the batched driver:
  * bit-identity of RandomSearch with the pre-IR rejection-sampling
  * mapper, exhaustive optimality on small spaces, constraint honoring
- * under every strategy, parallel/sequential bit-identity per strategy,
- * and the distinguishable all-invalid outcome.
+ * under every strategy, per-strategy determinism across repeated runs
+ * and 1/4/8 evaluation threads (annealing and genetic included),
+ * batch-size independence of the round-streamed strategies, warm
+ * starts through WarmStartPool, and the distinguishable all-invalid
+ * outcome.
  */
 
 #include <gtest/gtest.h>
@@ -236,7 +239,8 @@ TEST(SearchStrategies, ConstraintsHonoredUnderEveryStrategy)
 
     for (SearchStrategyKind kind :
          {SearchStrategyKind::Random, SearchStrategyKind::Exhaustive,
-          SearchStrategyKind::Hybrid}) {
+          SearchStrategyKind::Hybrid, SearchStrategyKind::Annealing,
+          SearchStrategyKind::Genetic}) {
         MapperOptions opts;
         opts.samples = 300;
         opts.strategy = kind;
@@ -257,7 +261,7 @@ TEST(SearchStrategies, ConstraintsHonoredUnderEveryStrategy)
     }
 }
 
-TEST(SearchStrategies, ParallelMatchesSequentialPerStrategy)
+TEST(SearchStrategies, DeterministicAcrossRunsAndThreadsPerStrategy)
 {
     Workload w = makeMatmul(32, 32, 32);
     bindUniformDensities(w, {{"A", 0.1}});
@@ -270,13 +274,22 @@ TEST(SearchStrategies, ParallelMatchesSequentialPerStrategy)
 
     for (SearchStrategyKind kind :
          {SearchStrategyKind::Random, SearchStrategyKind::Exhaustive,
-          SearchStrategyKind::Hybrid}) {
+          SearchStrategyKind::Hybrid, SearchStrategyKind::Annealing,
+          SearchStrategyKind::Genetic}) {
         MapperOptions opts;
         opts.samples = kind == SearchStrategyKind::Exhaustive ? 2000 : 300;
         opts.strategy = kind;
+        // One evaluation worker, run twice: same seed -> same result.
         MapperResult seq = Mapper(w, arch, safs, opts, cons).search();
         ASSERT_TRUE(seq.found);
-        for (int threads : {2, 8}) {
+        {
+            SCOPED_TRACE("strategy=" + seq.strategy + " repeat-run");
+            MapperResult again =
+                Mapper(w, arch, safs, opts, cons).search();
+            expectIdentical(seq, again);
+        }
+        // 1 vs 4 vs 8 evaluation workers: bit-identical best mapping.
+        for (int threads : {1, 4, 8}) {
             ParallelMapperOptions popts;
             popts.num_threads = threads;
             MapperResult par =
@@ -322,6 +335,140 @@ TEST(SearchStrategies, HybridResultIsBatchSizeIndependent)
     // batch_size affects wall-clock only: the proposal sequence and
     // the refinement-round boundaries must not depend on it.
     expectIdentical(big, small);
+}
+
+TEST(SearchStrategies, RoundStrategiesAreBatchSizeIndependent)
+{
+    Workload w = makeMatmul(32, 32, 32);
+    Architecture arch = searchArch();
+    SafSpec none;
+    for (SearchStrategyKind kind :
+         {SearchStrategyKind::Annealing, SearchStrategyKind::Genetic}) {
+        MapperOptions opts;
+        opts.samples = 300;
+        opts.strategy = kind;
+        opts.batch_size = 256;
+        MapperResult big = Mapper(w, arch, none, opts).search();
+        // 7 deliberately does not divide the annealing round size (8)
+        // or the genetic population (24), so rounds straddle batches.
+        opts.batch_size = 7;
+        MapperResult small = Mapper(w, arch, none, opts).search();
+        ASSERT_TRUE(big.found);
+        SCOPED_TRACE("strategy=" + big.strategy);
+        // batch_size affects wall-clock only: round contents are fixed
+        // up front and all decisions fall at round boundaries.
+        expectIdentical(big, small);
+        big.mapping.validate(w, arch);
+    }
+}
+
+TEST(WarmStartPool, RanksDedupesAndBounds)
+{
+    Workload w = makeMatmul(8, 8, 8);
+    Architecture arch = searchArch();
+    // Distinct mappings to pool: vary the M tile split (the residual
+    // M factor lands at level 0 via buildComplete).
+    auto mappingWithTile = [&](std::int64_t m1) {
+        return MappingBuilder(w, arch)
+            .temporal(1, "M", m1)
+            .temporal(1, "N", 8)
+            .temporal(1, "K", 8)
+            .buildComplete();
+    };
+    WarmStartPool pool(2);
+    Mapping a = mappingWithTile(2);
+    Mapping b = mappingWithTile(4);
+    Mapping c = mappingWithTile(8);
+    pool.record(a, 30.0);
+    pool.record(b, 10.0);
+    EXPECT_EQ(pool.size(), 2u);
+    // Best-first ordering.
+    EXPECT_EQ(pool.elites().front(), b);
+    // Re-recording an equal mapping keeps the better objective instead
+    // of duplicating.
+    pool.record(b, 40.0);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.elites().front(), b);
+    // Capacity: a better elite evicts the worst.
+    pool.record(c, 20.0);
+    EXPECT_EQ(pool.size(), 2u);
+    std::vector<Mapping> elites = pool.elites();
+    ASSERT_EQ(elites.size(), 2u);
+    EXPECT_EQ(elites[0], b);
+    EXPECT_EQ(elites[1], c);
+}
+
+TEST(WarmStart, RestartNeverLosesTheRecordedElite)
+{
+    Workload w = makeMatmul(32, 32, 32);
+    bindUniformDensities(w, {{"A", 0.1}});
+    Architecture arch = searchArch();
+    SafSpec safs;
+    safs.addSkip(1, w.tensorIndex("B"), {w.tensorIndex("A")});
+
+    for (SearchStrategyKind kind :
+         {SearchStrategyKind::Annealing, SearchStrategyKind::Genetic,
+          SearchStrategyKind::Hybrid}) {
+        auto pool = std::make_shared<WarmStartPool>();
+        MapperOptions opts;
+        opts.samples = 200;
+        opts.strategy = kind;
+        opts.warm_start = pool;
+        MapperResult cold = Mapper(w, arch, safs, opts).search();
+        ASSERT_TRUE(cold.found);
+        SCOPED_TRACE("strategy=" + cold.strategy);
+        EXPECT_EQ(cold.warm_start_candidates, 0);
+        EXPECT_EQ(pool->size(), 1u);
+
+        // The warm restart's candidate set contains the recorded elite
+        // (it is proposed and evaluated in round 0), so its best can
+        // never be worse than the cold search's best.
+        MapperResult warm = Mapper(w, arch, safs, opts).search();
+        ASSERT_TRUE(warm.found);
+        EXPECT_GE(warm.warm_start_candidates, 1);
+        EXPECT_EQ(warm.candidates_evaluated, opts.samples);
+        EXPECT_LE(warm.eval.edp(), cold.eval.edp());
+    }
+}
+
+TEST(WarmStart, IncompatibleElitesAreSkippedGracefully)
+{
+    // Pool an elite from a three-level architecture, then search a
+    // two-level one: the elite cannot re-encode (level-count
+    // mismatch), so it must be skipped without poisoning the search.
+    Workload w = makeMatmul(32, 32, 32);
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    dram.bandwidth_words_per_cycle = 16.0;
+    StorageLevelSpec l2;
+    l2.name = "L2";
+    l2.capacity_words = 16384;
+    l2.bandwidth_words_per_cycle = 8.0;
+    StorageLevelSpec l1;
+    l1.name = "L1";
+    l1.capacity_words = 4096;
+    l1.bandwidth_words_per_cycle = 8.0;
+    Architecture deep("deep", {dram, l2, l1}, ComputeSpec{});
+    SafSpec none;
+
+    auto pool = std::make_shared<WarmStartPool>();
+    MapperOptions opts;
+    opts.samples = 100;
+    opts.strategy = SearchStrategyKind::Annealing;
+    opts.warm_start = pool;
+    MapperResult deep_result = Mapper(w, deep, none, opts).search();
+    ASSERT_TRUE(deep_result.found);
+    ASSERT_EQ(pool->size(), 1u);
+
+    MapperResult shallow =
+        Mapper(w, searchArch(), none, opts).search();
+    ASSERT_TRUE(shallow.found);
+    EXPECT_EQ(shallow.warm_start_candidates, 0);
+    EXPECT_EQ(shallow.candidates_evaluated, opts.samples);
+    // Both searches recorded their best: the pool now serves two
+    // design points.
+    EXPECT_EQ(pool->size(), 2u);
 }
 
 TEST(SearchStrategies, ExplicitExhaustiveOnHugeSpaceIsCatchable)
