@@ -10,6 +10,20 @@
  *  - ReuseAZ.HierarchicalSkip wins for hyper-sparse workloads;
  *  - ReuseABZ.HierarchicalSkip is never the best (the ABZ reuse
  *    prevents the off-chip skip from firing).
+ *
+ * The per-row mapper sanity check also surfaces the search's Pareto
+ * front (`MapperResult::pareto_front`) over the co-design axes —
+ * cycles, energy, and peak on-chip capacity: the co-design answer is
+ * a trade-off surface, not one scalar, and the front shows what the
+ * EDP winner gives up against faster, leaner-on-energy, or
+ * smaller-buffer schedules of the same design. (Capacity is part of
+ * the front because the pure cycles-vs-energy trade-off degenerates
+ * at hyper-sparse densities: the schedule at the bandwidth-imposed
+ * cycle floor is usually also energy-minimal, while buffer footprint
+ * varies by orders of magnitude at nearly equal cycles/energy.) The
+ * bench exits non-zero if any row's front degenerates to fewer than
+ * two points (no measurable trade-off would mean the archive
+ * plumbing regressed).
  */
 
 #include <algorithm>
@@ -55,6 +69,7 @@ main()
     // pool: the best mapping found at one density seeds the annealing
     // chains at the next.
     auto pool = std::make_shared<WarmStartPool>();
+    std::size_t min_front = std::numeric_limits<std::size_t>::max();
     for (double density :
          {1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.3, 0.5}) {
         // One workload per density row, shared by the four designs, so
@@ -120,7 +135,11 @@ main()
         const apps::DesignPoint &d = designs[best];
         MapperOptions opts;
         opts.samples = 200;
-        opts.objective = Objective::Edp;
+        // EDP drives the search; the archive tracks the full co-design
+        // trade-off surface (cycles x energy x on-chip capacity).
+        opts.objective = ObjectiveSpec(Objective::Edp).withFrontMetrics(
+            {Metric::Cycles, Metric::Energy, Metric::PeakCapacity});
+        opts.pareto_capacity = 12;
         opts.strategy = SearchStrategyKind::Annealing;
         opts.cache = cache;
         opts.warm_start = pool;
@@ -133,12 +152,34 @@ main()
                     toString(combos[best].sf).c_str(), searched_ratio,
                     static_cast<long long>(
                         searched.warm_start_candidates));
+
+        // The row's co-design trade-off surface: every non-dominated
+        // (cycles, energy, on-chip words) schedule the search saw for
+        // the winning design. Deterministic across runs, batch sizes,
+        // and thread counts, so a front regression is a real behavior
+        // change.
+        std::printf("%-10s pareto cycles/energy-uJ/buffer-words:", "");
+        for (const ParetoEntry &p : searched.pareto_front) {
+            std::printf(" (%.0f, %.2f, %.0f)",
+                        p.metrics.at(Metric::Cycles),
+                        p.metrics.at(Metric::Energy) / 1e6,
+                        p.metrics.at(Metric::PeakCapacity));
+        }
+        std::printf("\n");
+        min_front = std::min(min_front, searched.pareto_front.size());
     }
     std::printf("\n(EDP normalized per density row to "
                 "ReuseABZ.InnermostSkip; 'best' marks the winning "
                 "combination; 'searched' compares the parallel "
                 "mapper's best mapping against the hand-written one; "
                 "'seeds' counts warm-start elites carried over from "
-                "earlier density rows)\n");
+                "earlier density rows; 'pareto' lists the searched "
+                "design's non-dominated cycles / energy / on-chip "
+                "buffer-footprint schedules)\n");
+    if (min_front < 2) {
+        std::printf("FAIL: a density row produced a trivial "
+                    "(<2-point) Pareto front\n");
+        return 1;
+    }
     return 0;
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build everything (library, test
 # binaries, benches, examples), run the full CTest suite, smoke-run
-# the search-strategy ablation, check intra-repo markdown links, and —
+# the search-strategy and pareto-front ablations, check intra-repo
+# markdown links, and —
 # when doxygen is installed — run the API-docs check (warnings in
 # src/model, src/mapper, and src/common are errors, mirroring the CI
 # docs job). A second explicit Release (-O2/NDEBUG) build-and-ctest
@@ -19,6 +20,9 @@ ctest --test-dir "${build_dir}" --output-on-failure -j
 
 echo "== search-strategy ablation smoke (valid-rate ~= 1.0 under constraints) =="
 "${build_dir}/bench/ablation_search_strategies"
+
+echo "== pareto-front ablation smoke (hypervolume per strategy, front determinism) =="
+"${build_dir}/bench/ablation_pareto_front"
 
 if [[ "${SPARSELOOP_SKIP_RELEASE:-0}" != "1" ]]; then
     echo "== Release (-O2/NDEBUG) build-and-ctest =="

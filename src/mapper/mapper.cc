@@ -27,12 +27,7 @@ Mapper::Mapper(const Workload &workload, const Architecture &arch,
 double
 Mapper::objectiveValue(const EvalResult &eval) const
 {
-    switch (options_.objective) {
-      case Objective::Edp: return eval.edp();
-      case Objective::Delay: return eval.cycles;
-      case Objective::Energy: return eval.energy_pj;
-    }
-    SL_PANIC("unknown objective");
+    return options_.objective.scalarize(MetricVector::of(eval));
 }
 
 MapperResult
@@ -63,12 +58,14 @@ Mapper::searchWithThreads(int num_threads) const
         tuning);
     result.strategy = strategy->name();
 
-    // Warm starts: re-encode the pool's elite mappings into this
-    // search's pruned space (elites from incompatible design points
-    // fail to encode and are skipped) and seed the strategy.
+    // Warm starts: re-rank the pool's elites under this search's
+    // objective spec, re-encode them into the pruned space (elites
+    // from incompatible design points fail to encode and are
+    // skipped), and seed the strategy.
     if (options_.warm_start) {
         std::vector<MapSpace::Point> starts;
-        for (const Mapping &elite : options_.warm_start->elites()) {
+        for (const Mapping &elite :
+             options_.warm_start->elites(options_.objective)) {
             if (auto point = space_->encode(elite)) {
                 starts.push_back(*std::move(point));
             }
@@ -87,7 +84,10 @@ Mapper::searchWithThreads(int num_threads) const
     const std::int64_t budget = options_.samples;
     const int batch_max = std::max(1, options_.batch_size);
     constexpr double kInf = std::numeric_limits<double>::infinity();
-    double best_obj = kInf;
+    const ObjectiveSpec &spec = options_.objective;
+    ParetoArchive archive(spec.frontMetrics(),
+                          options_.pareto_capacity);
+    MetricVector best_metrics;
     std::int64_t best_index = -1;
 
     while (result.candidates_evaluated < budget) {
@@ -113,27 +113,35 @@ Mapper::searchWithThreads(int num_threads) const
                 continue;
             }
             ++result.candidates_valid;
-            const double obj = objectiveValue(evals[i]);
-            objectives[i] = obj;
-            // (objective, proposal index) lexicographic minimum: the
-            // same winner a sequential first-strictly-better scan
-            // keeps, independent of batch size and thread count.
-            if (!result.found || obj < best_obj ||
-                (obj == best_obj && batch[i].index < best_index)) {
+            const MetricVector metrics = MetricVector::of(evals[i]);
+            objectives[i] = spec.scalarize(metrics);
+            // Candidates reach the archive in proposal order at every
+            // batch size and thread count, so the front is as
+            // deterministic as the incumbent.
+            archive.insert(batch[i].mapping, metrics, batch[i].index);
+            // (objective, proposal index) lexicographic minimum under
+            // the spec's shared total order: the same winner a
+            // sequential first-strictly-better scan keeps,
+            // independent of batch size and thread count.
+            if (!result.found ||
+                spec.better(metrics, batch[i].index, best_metrics,
+                            best_index)) {
                 result.found = true;
                 result.mapping = batch[i].mapping;
                 result.eval = evals[i];
-                best_obj = obj;
+                best_metrics = metrics;
                 best_index = batch[i].index;
             }
         }
         strategy->observe(batch, objectives);
     }
 
+    result.pareto_front = archive.takeEntries();
     if (result.found) {
         result.status = SearchStatus::kFound;
         if (options_.warm_start) {
-            options_.warm_start->record(result.mapping, best_obj);
+            options_.warm_start->record(result.mapping, best_metrics,
+                                        spec.scalarize(best_metrics));
         }
     } else {
         result.status = SearchStatus::kNoValidCandidate;

@@ -9,11 +9,17 @@
  *  - `SearchStrategy` (mapper/search_strategy.hh) — candidate
  *    generation: random, exhaustive, hybrid refinement, simulated
  *    annealing, or genetic search.
+ *  - `ObjectiveSpec` (mapper/objective.hh) — how candidates are
+ *    ranked: metric extraction from `EvalResult`, scalarization for
+ *    the strategies' feedback, the shared total-order comparator, and
+ *    the `ParetoArchive` of non-dominated candidates.
  *  - `Mapper` (this file) — the driver: pulls candidate batches from
  *    the strategy, evaluates them through `BatchEvaluator` (dedupe,
  *    dense-prefix grouping, optional shared `EvalCache`, worker pool),
- *    and reduces to the best valid mapping under the objective with a
- *    deterministic (objective, proposal index) tie-break.
+ *    reduces to the best valid mapping under the objective spec with
+ *    a deterministic (objective, proposal index) tie-break, and
+ *    maintains the Pareto archive alongside the incumbent
+ *    (`MapperResult::pareto_front`).
  *
  * `ParallelMapper` is the same driver with a multi-threaded evaluation
  * pool; its results are bit-identical to the sequential `Mapper` at
@@ -28,23 +34,23 @@
 #include <optional>
 #include <string>
 
+#include "mapper/objective.hh"
 #include "mapper/search_strategy.hh"
 #include "mapper/warm_start.hh"
 #include "model/batch_evaluator.hh"
 
 namespace sparseloop {
 
-/** Optimization objective. */
-enum class Objective
-{
-    Edp,     ///< energy-delay product
-    Delay,   ///< cycles
-    Energy,  ///< pJ
-};
-
 struct MapperOptions
 {
-    Objective objective = Objective::Edp;
+    /**
+     * How candidates are ranked (mapper/objective.hh): a single
+     * metric, a weighted sum, a lexicographic order, or a constrained
+     * form. Defaults to EDP; the legacy `Objective` enum still
+     * assigns (`opts.objective = Objective::Delay`) and reproduces
+     * the historical scalar search bit-identically.
+     */
+    ObjectiveSpec objective;
     /** Candidate budget: proposals evaluated before stopping (an
      *  exhaustive search may finish earlier). */
     int samples = 2000;
@@ -76,6 +82,14 @@ struct MapperOptions
      * `samples` and results stay bit-identical across thread counts.
      */
     std::shared_ptr<WarmStartPool> warm_start;
+    /**
+     * Bound of the Pareto archive maintained alongside the scalar
+     * incumbent (`MapperResult::pareto_front`), over the objective
+     * spec's `frontMetrics()`. Beyond the bound, the least-crowded
+     * prefix of the front is kept (see `ParetoArchive`). 0 disables
+     * front tracking entirely.
+     */
+    std::size_t pareto_capacity = 32;
     /** Axis materialization limits and opt-in bypass exploration. */
     MapSpaceOptions mapspace;
     /**
@@ -129,6 +143,16 @@ struct MapperResult
      * starting points entirely.
      */
     std::int64_t warm_start_candidates = 0;
+    /**
+     * The non-dominated (mapping, metric-vector) candidates the
+     * search encountered, over the objective spec's `frontMetrics()`
+     * (cycles vs energy by default), bounded by
+     * `MapperOptions::pareto_capacity` and sorted by (first front
+     * metric, proposal index). Deterministic: bit-identical across
+     * runs, driver batch sizes, and thread counts. Empty when no
+     * candidate was valid or front tracking is disabled.
+     */
+    std::vector<ParetoEntry> pareto_front;
 };
 
 class Mapper
@@ -164,7 +188,13 @@ class Mapper
     /** The constraint-pruned mapspace the search runs over. */
     const MapSpace &mapspace() const { return *space_; }
 
-    /** Objective value of an evaluation under the configured metric. */
+    /**
+     * Convenience: scalarize @p eval under this mapper's objective
+     * spec (`spec.scalarize(MetricVector::of(eval))`). The search
+     * loop does this inline; this accessor exists for callers scoring
+     * external evaluations — e.g. a hand-written mapping — on the
+     * same scale as the search result.
+     */
     double objectiveValue(const EvalResult &eval) const;
 
   private:

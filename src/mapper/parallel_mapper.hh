@@ -6,9 +6,11 @@
  * resolves a worker count and runs the shared driver with it. Because
  * every strategy proposes candidates in a thread-count-independent
  * order and the batched evaluation is bit-identical to sequential
- * evaluation, the result is bit-identical to the sequential `Mapper`
- * at every thread count — for random, exhaustive, hybrid, annealing,
- * and genetic search alike.
+ * evaluation, the result — the incumbent under the `ObjectiveSpec`'s
+ * shared total order *and* the `MapperResult::pareto_front` archive —
+ * is bit-identical to the sequential `Mapper` at every thread count,
+ * for random, exhaustive, hybrid, annealing, and genetic search
+ * alike.
  *
  * Pair the search with an `EvalCache` (via `MapperOptions::cache`) to
  * share candidate evaluations across restarts, design points, and any

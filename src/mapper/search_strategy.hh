@@ -6,11 +6,16 @@
  * `ParallelMapper`) repeatedly asks it to `propose` a batch of
  * candidates, evaluates the batch through `BatchEvaluator` (so
  * deduplication, dense-prefix grouping, and the worker pool apply
- * during search), feeds the objectives back via `observe`, and keeps
- * the (objective, index)-lexicographic best. Splitting generation from
- * evaluation is what makes the strategies interchangeable and the
- * parallelism strategy-agnostic: every strategy is deterministic given
- * its feedback, and the feedback is bit-identical at any thread count.
+ * during search), feeds scalar objectives back via `observe`, and
+ * keeps the (objective, index)-lexicographic best. The scalars come
+ * from the driver's `ObjectiveSpec::scalarize` (mapper/objective.hh)
+ * — strategies never see metric vectors, so they work unchanged under
+ * every spec form (for the default EDP spec the feedback is
+ * bit-identical to the historical scalar objective). Splitting
+ * generation from evaluation is what makes the strategies
+ * interchangeable and the parallelism strategy-agnostic: every
+ * strategy is deterministic given its feedback, and the feedback is
+ * bit-identical at any thread count.
  *
  * Shipped strategies (docs/search.md is the full guide):
  *  - `RandomSearch` — seeded sampling via the IR; bit-identical to the
@@ -139,8 +144,10 @@ class SearchStrategy
 
     /**
      * Feedback for the batch returned by the previous `propose` call:
-     * `objectives[i]` is the objective value of `batch[i]` (+infinity
-     * for invalid candidates; lower is better).
+     * `objectives[i]` is the scalarized objective of `batch[i]` under
+     * the driver's `ObjectiveSpec` (+infinity for invalid candidates
+     * and for candidates a constrained spec rejects; lower is
+     * better).
      */
     virtual void observe(const std::vector<SearchCandidate> &batch,
                          const std::vector<double> &objectives);

@@ -15,37 +15,47 @@ WarmStartPool::WarmStartPool(std::size_t capacity)
 {
 }
 
+bool
+WarmStartPool::entryBefore(const Entry &a, const Entry &b)
+{
+    if (a.objective != b.objective) {
+        return a.objective < b.objective;
+    }
+    return a.tick < b.tick;
+}
+
 void
-WarmStartPool::record(const Mapping &mapping, double objective)
+WarmStartPool::record(const Mapping &mapping, const MetricVector &metrics,
+                      double objective)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (Entry &entry : entries_) {
-        if (entry.mapping == mapping) {
-            if (objective < entry.objective) {
-                entry.objective = objective;
-                std::sort(entries_.begin(), entries_.end(),
-                          [](const Entry &a, const Entry &b) {
-                              if (a.objective != b.objective) {
-                                  return a.objective < b.objective;
-                              }
-                              return a.tick < b.tick;
-                          });
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->mapping == mapping) {
+            if (objective < it->objective) {
+                it->objective = objective;
+                it->metrics = metrics;
+                // The entry only improved, so it moves toward the
+                // front: rotate it into its new sorted position
+                // (O(n)) instead of re-sorting the pool. The tick is
+                // unchanged, so tie-break semantics are preserved.
+                auto dest = std::lower_bound(entries_.begin(), it, *it,
+                                             entryBefore);
+                std::rotate(dest, it, it + 1);
             }
             return;
         }
     }
-    Entry entry{objective, next_tick_++, mapping};
-    auto pos = std::upper_bound(
-        entries_.begin(), entries_.end(), entry,
-        [](const Entry &a, const Entry &b) {
-            if (a.objective != b.objective) {
-                return a.objective < b.objective;
-            }
-            return a.tick < b.tick;
-        });
+    Entry entry{objective, metrics, next_tick_, mapping};
+    if (entries_.size() == capacity_ &&
+        !entryBefore(entry, entries_.back())) {
+        return;  // worse than everything retained: never enters
+    }
+    ++next_tick_;
+    auto pos = std::upper_bound(entries_.begin(), entries_.end(), entry,
+                                entryBefore);
     entries_.insert(pos, std::move(entry));
     if (entries_.size() > capacity_) {
-        entries_.resize(capacity_);
+        entries_.pop_back();
     }
 }
 
@@ -57,6 +67,31 @@ WarmStartPool::elites() const
     out.reserve(entries_.size());
     for (const Entry &entry : entries_) {
         out.push_back(entry.mapping);
+    }
+    return out;
+}
+
+std::vector<Mapping>
+WarmStartPool::elites(const ObjectiveSpec &spec) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const Entry *> ranked;
+    ranked.reserve(entries_.size());
+    for (const Entry &entry : entries_) {
+        ranked.push_back(&entry);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [&](const Entry *a, const Entry *b) {
+                  const int c = spec.compare(a->metrics, b->metrics);
+                  if (c != 0) {
+                      return c < 0;
+                  }
+                  return a->tick < b->tick;
+              });
+    std::vector<Mapping> out;
+    out.reserve(ranked.size());
+    for (const Entry *entry : ranked) {
+        out.push_back(entry->mapping);
     }
     return out;
 }

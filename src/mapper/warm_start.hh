@@ -8,11 +8,16 @@
  * reuse, every design point's search restarts from scratch and spends
  * most of its budget rediscovering the same structure. A
  * `WarmStartPool` closes that loop: each search records its best
- * (mapping, objective) into the shared pool, and the next design
- * point's search re-encodes the pool's elites into its own
- * constraint-pruned `MapSpace` and uses them as starting points
- * (annealing chain seeds, genetic generation-0 members, hybrid
- * pre-warmup candidates).
+ * (mapping, metric-vector) into the shared pool, and the next design
+ * point's search re-ranks the pool under its *own* `ObjectiveSpec`,
+ * re-encodes the elites into its own constraint-pruned `MapSpace`,
+ * and uses them as starting points (annealing chain seeds, genetic
+ * generation-0 members, hybrid pre-warmup candidates).
+ *
+ * Storing full metric vectors (not just the recording search's
+ * scalar) is what lets heterogeneous sweeps share one pool: an
+ * energy-constrained search can warm-start from the elites of an
+ * EDP-optimized sibling, ranked by what *it* cares about.
  *
  * Re-encoding is the safety valve: `MapSpace::encode` fails cleanly
  * for a mapping that does not fit the consuming space (different
@@ -45,19 +50,21 @@
 #include <mutex>
 #include <vector>
 
+#include "mapper/objective.hh"
 #include "mapping/mapping.hh"
 
 namespace sparseloop {
 
 /**
- * A bounded, thread-safe pool of elite (mapping, objective) pairs
+ * A bounded, thread-safe pool of elite (mapping, metric-vector) pairs
  * shared across the searches of a DSE sweep. Entries are ranked by
- * objective (lower is better; insertion order breaks ties, older
- * first) and the pool keeps only the `capacity` best. Objectives from
- * different design points are not strictly comparable — the ranking
- * is a heuristic for which structures are worth re-seeding, and every
- * consuming search re-evaluates the elites under its own design
- * anyway.
+ * the objective the recording search reported (lower is better;
+ * insertion order breaks ties, older first) and the pool keeps only
+ * the `capacity` best under that ranking. Objectives from different
+ * design points are not strictly comparable — the ranking is a
+ * heuristic for which structures are worth re-seeding, and every
+ * consuming search re-ranks the elites under its own `ObjectiveSpec`
+ * (and re-evaluates them under its own design) anyway.
  */
 class WarmStartPool
 {
@@ -66,18 +73,33 @@ class WarmStartPool
     explicit WarmStartPool(std::size_t capacity = 16);
 
     /**
-     * Record one elite. A mapping equal to an existing entry never
-     * duplicates: it keeps the better of the two objectives. Entries
-     * beyond the capacity best are dropped.
+     * Record one elite with its full metric vector and the recording
+     * search's scalar objective (the pool's retention ranking). A
+     * mapping equal to an existing entry never duplicates: it keeps
+     * the better of the two objectives (and that record's metrics).
+     * Entries beyond the capacity best are dropped. O(n) per call:
+     * the pool stays sorted by insertion into position, never by
+     * re-sorting.
      */
-    void record(const Mapping &mapping, double objective);
+    void record(const Mapping &mapping, const MetricVector &metrics,
+                double objective);
 
-    /** The pooled elite mappings, best objective first. */
+    /** The pooled elite mappings, best recorded objective first. */
     std::vector<Mapping> elites() const;
+
+    /**
+     * The pooled elite mappings re-ranked under a consuming search's
+     * spec: best first by `ObjectiveSpec::compare` over the stored
+     * metric vectors, insertion order breaking ties (older first).
+     * This is how an energy-constrained search warm-starts from an
+     * EDP-optimized sibling's elites.
+     */
+    std::vector<Mapping> elites(const ObjectiveSpec &spec) const;
 
     /** Current entry count (<= capacity). */
     std::size_t size() const;
 
+    /** The retention bound. */
     std::size_t capacity() const { return capacity_; }
 
   private:
@@ -85,14 +107,18 @@ class WarmStartPool
     struct Entry
     {
         double objective;
+        MetricVector metrics;
         std::int64_t tick;
         Mapping mapping;
     };
 
+    /** The retention order: (recorded objective, tick), best first. */
+    static bool entryBefore(const Entry &a, const Entry &b);
+
     mutable std::mutex mutex_;
     std::size_t capacity_;
     std::int64_t next_tick_ = 0;
-    /** Sorted by (objective, tick), best first. */
+    /** Sorted by `entryBefore`, best first. */
     std::vector<Entry> entries_;
 };
 

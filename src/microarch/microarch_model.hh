@@ -87,6 +87,46 @@ struct EvalResult
     }
 
     /**
+     * Peak on-chip storage pressure: the maximum over storage levels
+     * *below* the outermost backing store of the worst-case occupied
+     * words per instance (data + metadata) — the capacity metric of
+     * the objective layer (`Metric::PeakCapacity`). The outermost
+     * level is excluded because it always holds the full tensor
+     * footprint regardless of the mapping, which would flatten the
+     * metric into a constant; with a single-level hierarchy that
+     * level is the answer.
+     */
+    double peakCapacityWords() const
+    {
+        double peak = 0.0;
+        for (std::size_t l = 1; l < levels.size(); ++l) {
+            if (levels[l].worst_case_words > peak) {
+                peak = levels[l].worst_case_words;
+            }
+        }
+        if (levels.size() == 1) {
+            peak = levels.front().worst_case_words;
+        }
+        return peak;
+    }
+
+    /**
+     * Expected metadata footprint summed over every (level, tensor)
+     * tile, in data-word equivalents — the format-overhead metric of
+     * the objective layer (`Metric::MetadataOverhead`).
+     */
+    double metadataOverheadWords() const
+    {
+        double total = 0.0;
+        for (const auto &level : sparse.levels) {
+            for (const TensorLevelSparse &tensor : level) {
+                total += tensor.tile_metadata_words;
+            }
+        }
+        return total;
+    }
+
+    /**
      * Exact equality over every field, including the retained traffic
      * — the bit-identity contract the evaluation cache guarantees
      * relative to uncached evaluation (see bitIdentical in engine.hh).

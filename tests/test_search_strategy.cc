@@ -375,22 +375,29 @@ TEST(WarmStartPool, RanksDedupesAndBounds)
             .temporal(1, "K", 8)
             .buildComplete();
     };
+    // A metric vector whose EDP carries the recorded scalar (the
+    // other metrics are irrelevant to this ranking test).
+    auto metricsWithEdp = [](double edp) {
+        MetricVector m;
+        m.at(Metric::Edp) = edp;
+        return m;
+    };
     WarmStartPool pool(2);
     Mapping a = mappingWithTile(2);
     Mapping b = mappingWithTile(4);
     Mapping c = mappingWithTile(8);
-    pool.record(a, 30.0);
-    pool.record(b, 10.0);
+    pool.record(a, metricsWithEdp(30.0), 30.0);
+    pool.record(b, metricsWithEdp(10.0), 10.0);
     EXPECT_EQ(pool.size(), 2u);
     // Best-first ordering.
     EXPECT_EQ(pool.elites().front(), b);
     // Re-recording an equal mapping keeps the better objective instead
     // of duplicating.
-    pool.record(b, 40.0);
+    pool.record(b, metricsWithEdp(40.0), 40.0);
     EXPECT_EQ(pool.size(), 2u);
     EXPECT_EQ(pool.elites().front(), b);
     // Capacity: a better elite evicts the worst.
-    pool.record(c, 20.0);
+    pool.record(c, metricsWithEdp(20.0), 20.0);
     EXPECT_EQ(pool.size(), 2u);
     std::vector<Mapping> elites = pool.elites();
     ASSERT_EQ(elites.size(), 2u);
