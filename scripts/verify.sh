@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build everything (library, test
 # binaries, benches, examples), run the full CTest suite, smoke-run
-# the search-strategy and pareto-front ablations, check intra-repo
-# markdown links, and —
+# the search-strategy, pareto-front, and mapspace-pruning ablations,
+# check intra-repo markdown links, and —
 # when doxygen is installed — run the API-docs check (warnings in
 # src/model, src/mapper, and src/common are errors, mirroring the CI
 # docs job). A second explicit Release (-O2/NDEBUG) build-and-ctest
@@ -24,6 +24,9 @@ echo "== search-strategy ablation smoke (valid-rate ~= 1.0 under constraints) ==
 echo "== pareto-front ablation smoke (hypervolume per strategy, front determinism) =="
 "${build_dir}/bench/ablation_pareto_front"
 
+echo "== mapspace pruning ablation smoke (per-pass sizes, losslessness) =="
+"${build_dir}/bench/ablation_mapspace_pruning"
+
 if [[ "${SPARSELOOP_SKIP_RELEASE:-0}" != "1" ]]; then
     echo "== Release (-O2/NDEBUG) build-and-ctest =="
     release_dir="${build_dir}-release"
@@ -31,6 +34,8 @@ if [[ "${SPARSELOOP_SKIP_RELEASE:-0}" != "1" ]]; then
         -DCMAKE_BUILD_TYPE=Release
     cmake --build "${release_dir}" -j
     ctest --test-dir "${release_dir}" --output-on-failure -j
+    echo "== mapspace pruning ablation (Release, billion-point sizes) =="
+    "${release_dir}/bench/ablation_mapspace_pruning"
 fi
 
 echo "== docs link check (intra-repo markdown links) =="

@@ -90,6 +90,13 @@ NestAnalysis::keepLevels(int t) const
             ks.push_back(l);
         }
     }
+    // The invariant every consumer (dense traffic, sparse boundary
+    // search, innermost-keep accounting) relies on, asserted here once
+    // instead of per call site: the backing store always keeps, so the
+    // list is never empty and always starts at level 0 — even for
+    // all-bypass-below-backing-store masks.
+    SL_ASSERT(!ks.empty() && ks.front() == 0,
+              "keepLevels invariant violated for tensor ", t);
     return ks;
 }
 

@@ -123,10 +123,15 @@ class NestAnalysis
      */
     double multicastFactor(int t, int from, int to) const;
 
-    /** Innermost level at which tensor @p t is kept. */
+    /** Innermost level at which tensor @p t is kept. Always valid:
+     *  the backing store keeps everything, so the result is >= 0 even
+     *  for all-bypass masks. */
     int innermostKeepLevel(int t) const;
 
-    /** Keeping levels of tensor @p t, outermost first. */
+    /** Keeping levels of tensor @p t, outermost first. Guaranteed
+     *  non-empty with front() == 0 (the backing store always keeps) —
+     *  asserted centrally here, so consumers (dense traffic, the
+     *  sparse boundary search) may index .front()/.back() freely. */
     std::vector<int> keepLevels(int t) const;
 
   private:

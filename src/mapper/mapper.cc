@@ -14,13 +14,29 @@
 
 namespace sparseloop {
 
+namespace {
+
+/** Capacity-dominance pruning is only provable against dense
+ *  footprints; a format SAF can compress a kept tile below it, so the
+ *  pass is forced off whenever formats are in play. */
+MapSpaceOptions
+resolveMapSpaceOptions(MapSpaceOptions opts, const SafSpec &safs)
+{
+    opts.prune_capacity_tilings =
+        opts.prune_capacity_tilings && safs.formats.empty();
+    return opts;
+}
+
+} // namespace
+
 Mapper::Mapper(const Workload &workload, const Architecture &arch,
                const SafSpec &safs, MapperOptions options,
                MapspaceConstraints constraints)
     : workload_(workload), arch_(arch), safs_(safs), options_(options),
       constraints_(std::move(constraints)),
-      space_(std::make_unique<MapSpace>(workload_, arch_, constraints_,
-                                        options_.mapspace))
+      space_(std::make_unique<MapSpace>(
+          workload_, arch_, constraints_,
+          resolveMapSpaceOptions(options_.mapspace, safs)))
 {
 }
 
@@ -41,6 +57,7 @@ Mapper::searchWithThreads(int num_threads) const
 {
     MapperResult result;
     result.mapspace_size = space_->size();
+    result.prune_stats = space_->pruneStats();
     if (space_->empty()) {
         SL_WARN("mapper: the constraints prune the mapspace to ",
                 "nothing; no candidate can be generated");
@@ -53,6 +70,7 @@ Mapper::searchWithThreads(int num_threads) const
     tuning.hybrid_warmup = options_.hybrid_warmup;
     tuning.annealing = options_.annealing;
     tuning.genetic = options_.genetic;
+    tuning.hierarchical = options_.hierarchical;
     auto strategy = makeSearchStrategy(
         options_.strategy, *space_, options_.seed, options_.samples,
         tuning);

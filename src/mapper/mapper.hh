@@ -70,6 +70,8 @@ struct MapperOptions
     AnnealingOptions annealing;
     /** GeneticSearch knobs (used when strategy == Genetic). */
     GeneticOptions genetic;
+    /** HierarchicalSearch knobs (used when strategy == Hierarchical). */
+    HierarchicalOptions hierarchical;
     /**
      * Optional cross-design-point warm-start pool for sweep drivers.
      * When set, pool elites that re-encode into this search's pruned
@@ -90,7 +92,13 @@ struct MapperOptions
      * front tracking entirely.
      */
     std::size_t pareto_capacity = 32;
-    /** Axis materialization limits and opt-in bypass exploration. */
+    /**
+     * Axis materialization limits, bypass exploration (on by
+     * default), and the construction pipeline's pruning passes. The
+     * capacity-dominance pass is automatically disabled when the
+     * search's SAF spec carries compression formats (it is only
+     * provable against dense footprints).
+     */
     MapSpaceOptions mapspace;
     /**
      * Optional shared evaluation cache. When set, every candidate
@@ -134,6 +142,13 @@ struct MapperResult
     std::string strategy;
     /** Size report of the pruned mapspace the search ran over. */
     MapSpaceSize mapspace_size;
+    /**
+     * Per-pass pruned-point counts of the mapspace construction
+     * pipeline (symmetry reduction, keep-dominance, capacity
+     * dominance); see `MapSpacePruneStats`. Exact whenever the tiling
+     * cross-product was enumerable.
+     */
+    MapSpacePruneStats prune_stats;
     /**
      * Warm-start elites that re-encoded into this search's mapspace
      * and were offered to the strategy (0 without a pool). The

@@ -9,6 +9,7 @@
 #include "mapper/mapspace.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <random>
 
@@ -18,6 +19,21 @@
 namespace sparseloop {
 
 namespace {
+
+/** Largest tiled-dimension set whose canonical orders are
+ *  materialized; beyond it the level falls back to raw factorial
+ *  enumeration (such spaces exceed the enumerable limit anyway). */
+constexpr int kMaxCanonicalDims = 8;
+
+int
+countBits(std::uint64_t mask)
+{
+    int n = 0;
+    for (; mask != 0; mask &= mask - 1) {
+        ++n;
+    }
+    return n;
+}
 
 /** First duplicate value in a list, or -1 when all unique. */
 int
@@ -192,6 +208,39 @@ MapSpace::MapSpace(const Workload &workload, const Architecture &arch,
         }
     }
 
+    // Symmetry classes: dimensions whose tensor-relevance signatures
+    // are identical commute as adjacent loops (swapping them changes
+    // no footprint, reuse multiplier, or multicast factor), so the
+    // symmetry pass enumerates one canonical order per class run.
+    dim_class_.assign(static_cast<std::size_t>(D), -1);
+    {
+        std::vector<std::vector<bool>> signatures;
+        for (int d = 0; d < D; ++d) {
+            std::vector<bool> sig(static_cast<std::size_t>(T));
+            for (int t = 0; t < T; ++t) {
+                sig[static_cast<std::size_t>(t)] =
+                    workload_.dimRelevant(t, d);
+            }
+            auto it =
+                std::find(signatures.begin(), signatures.end(), sig);
+            if (it == signatures.end()) {
+                signatures.push_back(sig);
+                it = std::prev(signatures.end());
+            }
+            dim_class_[static_cast<std::size_t>(d)] =
+                static_cast<int>(it - signatures.begin());
+        }
+    }
+
+    // Levels whose keep axis is open. By construction an open level
+    // offers every mask, which is what lets the joint keep axis
+    // factorize per tensor in the dominance pass.
+    for (int l = 0; l < S; ++l) {
+        if (keep_choices_[static_cast<std::size_t>(l)].size() > 1) {
+            keep_free_levels_.push_back(l);
+        }
+    }
+
     // Size accounting: exact (with enumeration prefix sums) when the
     // tiling cross-product is materialized and small enough, estimate
     // otherwise.
@@ -209,6 +258,7 @@ MapSpace::MapSpace(const Workload &workload, const Architecture &arch,
 
     if (empty_) {
         size_ = {0.0, true, 0};
+        prune_stats_.exact = true;
         return;
     }
     if (tilings_ok) {
@@ -216,20 +266,42 @@ MapSpace::MapSpace(const Workload &workload, const Architecture &arch,
                                           split_count_.end());
         std::int64_t total = 0;
         bool saturated = false;
+        prune_stats_ = {};
+        prune_stats_.exact = true;
         tiling_prefix_.reserve(static_cast<std::size_t>(tilings) + 1);
         tiling_prefix_.push_back(0);
         for (std::int64_t t = 0; t < tilings; ++t) {
             auto digits = math::mixedRadixDecode(t, radices);
             std::vector<std::size_t> tiling(digits.begin(),
                                             digits.end());
-            std::int64_t block = blockSize(tilingFactors(tiling));
-            if (total >
-                std::numeric_limits<std::int64_t>::max() - block) {
-                saturated = true;
-                break;
+            auto factors = tilingFactors(tiling);
+            for (int l = 0; l < S; ++l) {
+                if (!orderConstrained(l)) {
+                    ensureCanonical(tiledMask(
+                        factors[static_cast<std::size_t>(l)]));
+                }
             }
-            total += block;
-            tiling_prefix_.push_back(total);
+            BlockCounts c = blockCounts(factors);
+            bool cap_pruned = options_.prune_capacity_tilings &&
+                              capacityPruned(factors);
+            prune_stats_.raw_points += c.raw;
+            prune_stats_.pruned_symmetry += c.raw - c.symmetry;
+            prune_stats_.pruned_dominated_keeps += c.symmetry - c.pruned;
+            if (cap_pruned) {
+                prune_stats_.pruned_capacity_tilings += c.pruned;
+            }
+            std::int64_t block = cap_pruned ? 0 : c.block;
+            // int64 saturation stops the enumeration prefix sums but
+            // not the per-pass accounting, which runs in doubles.
+            if (!saturated &&
+                total >
+                    std::numeric_limits<std::int64_t>::max() - block) {
+                saturated = true;
+            }
+            if (!saturated) {
+                total += block;
+                tiling_prefix_.push_back(total);
+            }
         }
         if (!saturated) {
             size_.points = static_cast<double>(total);
@@ -243,6 +315,8 @@ MapSpace::MapSpace(const Workload &workload, const Architecture &arch,
         if (!saturated) {
             return;
         }
+        // Saturated: fall through to the product-form size estimate,
+        // keeping the (still-valid) double-accumulated pass counts.
     }
 
     // Product-form upper bound: every admissible dimension tiled at
@@ -281,6 +355,10 @@ MapSpace::MapSpace(const Workload &workload, const Architecture &arch,
     size_.points = points;
     size_.exact = false;
     size_.enumerable = -1;
+    if (!prune_stats_.exact) {
+        // Estimate path: only the raw total is known.
+        prune_stats_.raw_points = points;
+    }
 }
 
 bool
@@ -343,35 +421,316 @@ MapSpace::tilingFactors(const std::vector<std::size_t> &tiling) const
     return factors;
 }
 
-std::int64_t
-MapSpace::blockSize(
-    const std::vector<std::vector<std::int64_t>> &factors) const
+std::uint64_t
+MapSpace::tiledMask(const std::vector<std::int64_t> &level_factors) const
 {
-    std::int64_t block = 1;
-    for (int l = 0; l < levelCount(); ++l) {
-        int tiled = 0;
-        for (int d = 0; d < dimCount(); ++d) {
-            if (factors[static_cast<std::size_t>(l)]
-                       [static_cast<std::size_t>(d)] > 1) {
-                ++tiled;
+    std::uint64_t mask = 0;
+    for (int d = 0; d < dimCount(); ++d) {
+        if (level_factors[static_cast<std::size_t>(d)] > 1) {
+            mask |= std::uint64_t{1} << static_cast<unsigned>(d);
+        }
+    }
+    return mask;
+}
+
+bool
+MapSpace::canonicalAt(int level, std::uint64_t mask) const
+{
+    return options_.prune_symmetry && !orderConstrained(level) &&
+           countBits(mask) <= kMaxCanonicalDims;
+}
+
+void
+MapSpace::ensureCanonical(std::uint64_t mask)
+{
+    if (countBits(mask) > kMaxCanonicalDims ||
+        canon_.count(mask) != 0) {
+        return;
+    }
+    std::vector<int> perm;
+    for (int d = 0; d < dimCount(); ++d) {
+        if ((mask >> static_cast<unsigned>(d)) & 1u) {
+            perm.push_back(d);
+        }
+    }
+    // Canonical = every adjacent pair of same-class dimensions is
+    // ascending by dimension id. Each equivalence orbit (orders
+    // reachable by commuting same-class neighbors) contains exactly
+    // one such order, so filtering the full permutation list keeps one
+    // traffic-identical representative per orbit. Counting must
+    // enumerate, not divide by multinomials: classes need not form
+    // contiguous runs in an order, so orbits have varying sizes.
+    std::vector<std::vector<int>> orders;
+    do {
+        bool canonical = true;
+        for (std::size_t i = 0; i + 1 < perm.size(); ++i) {
+            if (dim_class_[static_cast<std::size_t>(perm[i])] ==
+                    dim_class_[static_cast<std::size_t>(perm[i + 1])] &&
+                perm[i] > perm[i + 1]) {
+                canonical = false;
+                break;
             }
         }
-        std::int64_t perms = orderConstrained(l)
-            ? 1
-            : math::factorial(tiled);
+        if (canonical) {
+            orders.push_back(perm);
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    canon_.emplace(mask, std::move(orders));
+}
+
+const std::vector<std::vector<int>> &
+MapSpace::canonicalOrders(std::uint64_t mask) const
+{
+    auto it = canon_.find(mask);
+    SL_ASSERT(it != canon_.end(),
+              "canonical orders were not prebuilt for mask ", mask);
+    return it->second;
+}
+
+std::vector<std::uint64_t>
+MapSpace::relevantLevelMasks(
+    const std::vector<std::vector<std::int64_t>> &factors) const
+{
+    const int T = workload_.tensorCount();
+    std::vector<std::uint64_t> rel(static_cast<std::size_t>(T), 0);
+    for (int l = 0; l < levelCount(); ++l) {
+        const auto &lf = factors[static_cast<std::size_t>(l)];
+        for (int d = 0; d < dimCount(); ++d) {
+            if (lf[static_cast<std::size_t>(d)] <= 1) {
+                continue;
+            }
+            for (int t = 0; t < T; ++t) {
+                if (workload_.dimRelevant(t, d)) {
+                    rel[static_cast<std::size_t>(t)] |=
+                        std::uint64_t{1} << static_cast<unsigned>(l);
+                }
+            }
+        }
+    }
+    return rel;
+}
+
+std::vector<std::uint32_t>
+MapSpace::keepCombos(int t, std::uint64_t relevant_mask) const
+{
+    const int S = levelCount();
+    const int F = static_cast<int>(keep_free_levels_.size());
+    // Keeps forced regardless of the free bits: the backing store and
+    // every fixed level whose single mask keeps the tensor.
+    std::uint64_t fixed = 1;
+    for (int l = 1; l < S; ++l) {
+        const auto &ch = keep_choices_[static_cast<std::size_t>(l)];
+        if (ch.size() == 1 &&
+            (ch.front().empty() ||
+             ch.front()[static_cast<std::size_t>(t)])) {
+            fixed |= std::uint64_t{1} << static_cast<unsigned>(l);
+        }
+    }
+    std::vector<std::uint32_t> combos;
+    for (std::uint32_t bits = 0;
+         bits < (1u << static_cast<unsigned>(F)); ++bits) {
+        std::uint64_t col = fixed;
+        for (int i = 0; i < F; ++i) {
+            if ((bits >> static_cast<unsigned>(i)) & 1u) {
+                col |= std::uint64_t{1}
+                    << static_cast<unsigned>(
+                           keep_free_levels_[static_cast<std::size_t>(
+                               i)]);
+            }
+        }
+        // A free keep at level l is dominated when some inner keeping
+        // level b exists and no loop at levels [l, b) touches the
+        // tensor: the kept tile then provides zero reuse (fills ==
+        // reads), so bypassing it saves accesses and capacity on every
+        // metric. The innermost keep (no b) is never dominated.
+        bool dominated = false;
+        if (options_.prune_dominated_keeps) {
+            for (int i = 0; i < F && !dominated; ++i) {
+                if (!((bits >> static_cast<unsigned>(i)) & 1u)) {
+                    continue;
+                }
+                int l =
+                    keep_free_levels_[static_cast<std::size_t>(i)];
+                int b = -1;
+                for (int lb = l + 1; lb < S; ++lb) {
+                    if ((col >> static_cast<unsigned>(lb)) & 1u) {
+                        b = lb;
+                        break;
+                    }
+                }
+                if (b < 0) {
+                    continue;
+                }
+                std::uint64_t between =
+                    (std::uint64_t{1} << static_cast<unsigned>(b)) -
+                    (std::uint64_t{1} << static_cast<unsigned>(l));
+                dominated = (relevant_mask & between) == 0;
+            }
+        }
+        if (!dominated) {
+            combos.push_back(bits);
+        }
+    }
+    return combos;
+}
+
+bool
+MapSpace::capacityPruned(
+    const std::vector<std::vector<std::int64_t>> &factors) const
+{
+    const int S = levelCount();
+    const int D = dimCount();
+    const int T = workload_.tensorCount();
+    for (int l = 0; l < S; ++l) {
+        double cap = arch_.level(l).capacity_words;
+        if (std::isinf(cap)) {
+            continue;
+        }
+        std::vector<std::int64_t> tiles(static_cast<std::size_t>(D), 1);
+        for (int d = 0; d < D; ++d) {
+            for (int l2 = l; l2 < S; ++l2) {
+                tiles[static_cast<std::size_t>(d)] *=
+                    factors[static_cast<std::size_t>(l2)]
+                           [static_cast<std::size_t>(d)];
+            }
+        }
+        // Minimum possible occupancy: only tensors kept under every
+        // admissible mask count, at their dense tile footprint (the
+        // engine's worst-case words for an unformatted kept tensor).
+        double occupancy = 0.0;
+        const auto &ch = keep_choices_[static_cast<std::size_t>(l)];
+        for (int t = 0; t < T; ++t) {
+            bool always_kept = (l == 0) ||
+                (ch.size() == 1 &&
+                 (ch.front().empty() ||
+                  ch.front()[static_cast<std::size_t>(t)]));
+            if (!always_kept) {
+                continue;
+            }
+            occupancy += static_cast<double>(
+                volume(workload_.tensorTileExtents(t, tiles)));
+        }
+        if (occupancy > cap) {
+            return true;
+        }
+    }
+    return false;
+}
+
+MapSpace::BlockCounts
+MapSpace::blockCounts(
+    const std::vector<std::vector<std::int64_t>> &factors) const
+{
+    BlockCounts c;
+    double ps_raw = 1.0;   // permutation x spatial, before symmetry
+    double ps_sym = 1.0;   // permutation x spatial, canonical orders
+    double keeps_raw = 1.0;
+    std::int64_t block = 1;
+    for (int l = 0; l < levelCount(); ++l) {
+        const auto &lf = factors[static_cast<std::size_t>(l)];
+        std::uint64_t mask = tiledMask(lf);
+        std::int64_t raw_perms =
+            orderConstrained(l) ? 1 : math::factorial(countBits(mask));
+        std::int64_t perms = raw_perms;
+        if (canonicalAt(l, mask)) {
+            perms = static_cast<std::int64_t>(
+                canonicalOrders(mask).size());
+        }
         std::int64_t spatial = std::max<std::int64_t>(
             1,
             static_cast<std::int64_t>(
-                spatialCandidates(
-                    l, factors[static_cast<std::size_t>(l)])
-                    .size()));
-        std::int64_t keeps = static_cast<std::int64_t>(
+                spatialCandidates(l, lf).size()));
+        ps_raw *= static_cast<double>(raw_perms) *
+                  static_cast<double>(spatial);
+        ps_sym *= static_cast<double>(perms) *
+                  static_cast<double>(spatial);
+        keeps_raw *= static_cast<double>(
             keep_choices_[static_cast<std::size_t>(l)].size());
         block = math::mulSat(block, perms);
         block = math::mulSat(block, spatial);
-        block = math::mulSat(block, keeps);
     }
-    return block;
+    double keeps_pruned = keeps_raw;
+    std::int64_t keep_block = 1;
+    if (options_.prune_dominated_keeps && !keep_free_levels_.empty()) {
+        // The joint keep axis factorizes per tensor: every open level
+        // offers all masks, so a joint choice is exactly one
+        // free-level keep column per tensor.
+        auto rel = relevantLevelMasks(factors);
+        keeps_pruned = 1.0;
+        for (int t = 0; t < workload_.tensorCount(); ++t) {
+            std::int64_t n = static_cast<std::int64_t>(
+                keepCombos(t, rel[static_cast<std::size_t>(t)])
+                    .size());
+            keeps_pruned *= static_cast<double>(n);
+            keep_block = math::mulSat(keep_block, n);
+        }
+    } else {
+        for (int l = 0; l < levelCount(); ++l) {
+            keep_block = math::mulSat(
+                keep_block,
+                static_cast<std::int64_t>(
+                    keep_choices_[static_cast<std::size_t>(l)]
+                        .size()));
+        }
+    }
+    c.raw = ps_raw * keeps_raw;
+    c.symmetry = ps_sym * keeps_raw;
+    c.pruned = ps_sym * keeps_pruned;
+    c.block = math::mulSat(block, keep_block);
+    return c;
+}
+
+std::int64_t
+MapSpace::tilingCount() const
+{
+    std::int64_t tilings = 1;
+    for (std::int64_t c : split_count_) {
+        tilings = math::mulSat(tilings, c);
+    }
+    return tilings;
+}
+
+std::vector<MapSpace::Point>
+MapSpace::coarsePoints(std::int64_t tiling_index, int max_keeps) const
+{
+    SL_ASSERT(pointEncodable(),
+              "coarsePoints requires materialized tiling axes");
+    SL_ASSERT(tiling_index >= 0 && tiling_index < tilingCount(),
+              "tiling index ", tiling_index, " out of range");
+    SL_ASSERT(max_keeps > 0, "max_keeps must be positive");
+    const int S = levelCount();
+    std::vector<std::int64_t> radices(split_count_.begin(),
+                                      split_count_.end());
+    auto digits = math::mixedRadixDecode(tiling_index, radices);
+    Point base;
+    base.tiling.assign(digits.begin(), digits.end());
+    base.order.resize(static_cast<std::size_t>(S));
+    base.spatial.assign(static_cast<std::size_t>(S), -1);
+    base.keep.assign(static_cast<std::size_t>(S), 0);
+    // Reconcile fills the default ascending loop order and the first
+    // spatial candidate — the coarse representative of the fine axes.
+    base = reconcile(std::move(base));
+
+    std::vector<std::int64_t> kradices(static_cast<std::size_t>(S));
+    std::int64_t total = 1;
+    for (int l = 0; l < S; ++l) {
+        kradices[static_cast<std::size_t>(l)] =
+            static_cast<std::int64_t>(
+                keep_choices_[static_cast<std::size_t>(l)].size());
+        total = math::mulSat(total,
+                             kradices[static_cast<std::size_t>(l)]);
+    }
+    std::int64_t k = std::min<std::int64_t>(max_keeps, total);
+    std::int64_t stride = total / k;
+    std::vector<Point> out;
+    out.reserve(static_cast<std::size_t>(k));
+    for (std::int64_t j = 0; j < k; ++j) {
+        auto kd = math::mixedRadixDecode(j * stride, kradices);
+        Point p = base;
+        p.keep.assign(kd.begin(), kd.end());
+        out.push_back(std::move(p));
+    }
+    return out;
 }
 
 Mapping
@@ -463,14 +822,16 @@ MapSpace::sampleMapping(std::uint64_t seed) const
                 {d, lf[static_cast<std::size_t>(d)],
                  d == spatial_dim});
         }
-        if (!con.keep.empty()) {
-            auto &keep = nests[static_cast<std::size_t>(l)].keep;
-            keep.assign(
-                static_cast<std::size_t>(workload_.tensorCount()),
-                false);
-            for (int t : con.keep) {
-                keep[static_cast<std::size_t>(t)] = true;
-            }
+        // Keep draw: a single choice (constrained mask or closed keep
+        // axis) assigns without consuming the RNG, so explore_bypass
+        // off reproduces the historical stream exactly.
+        const auto &choices = keep_choices_[static_cast<std::size_t>(l)];
+        if (choices.size() > 1) {
+            std::uniform_int_distribution<std::size_t> pick(
+                0, choices.size() - 1);
+            nests[static_cast<std::size_t>(l)].keep = choices[pick(rng)];
+        } else {
+            nests[static_cast<std::size_t>(l)].keep = choices.front();
         }
     }
     return Mapping(std::move(nests));
@@ -497,15 +858,11 @@ MapSpace::mappingAt(std::int64_t index) const
     auto factors = tilingFactors(tiling);
 
     const int S = levelCount();
+    const int T = workload_.tensorCount();
     std::vector<LevelNest> nests(static_cast<std::size_t>(S));
     for (int l = 0; l < S; ++l) {
         const auto &lf = factors[static_cast<std::size_t>(l)];
-        std::vector<int> base;
-        for (int d = 0; d < dimCount(); ++d) {
-            if (lf[static_cast<std::size_t>(d)] > 1) {
-                base.push_back(d);
-            }
-        }
+        std::uint64_t mask = tiledMask(lf);
         std::vector<int> order;
         if (orderConstrained(l)) {
             for (int d :
@@ -514,7 +871,18 @@ MapSpace::mappingAt(std::int64_t index) const
                     order.push_back(d);
                 }
             }
+        } else if (canonicalAt(l, mask)) {
+            const auto &orders = canonicalOrders(mask);
+            std::int64_t n = static_cast<std::int64_t>(orders.size());
+            order = orders[static_cast<std::size_t>(rest % n)];
+            rest /= n;
         } else {
+            std::vector<int> base;
+            for (int d = 0; d < dimCount(); ++d) {
+                if (lf[static_cast<std::size_t>(d)] > 1) {
+                    base.push_back(d);
+                }
+            }
             std::int64_t perms =
                 math::factorial(static_cast<int>(base.size()));
             std::int64_t digit = rest % perms;
@@ -534,18 +902,59 @@ MapSpace::mappingAt(std::int64_t index) const
             rest /= n;
         }
 
-        const auto &keeps = keep_choices_[static_cast<std::size_t>(l)];
-        std::int64_t kn = static_cast<std::int64_t>(keeps.size());
-        const std::vector<bool> &mask =
-            keeps[static_cast<std::size_t>(rest % kn)];
-        rest /= kn;
-
         for (int d : order) {
             nests[static_cast<std::size_t>(l)].loops.push_back(
                 {d, lf[static_cast<std::size_t>(d)],
                  d == spatial_dim});
         }
-        nests[static_cast<std::size_t>(l)].keep = mask;
+    }
+
+    // Keep axis: with the dominance pass on, the joint choice is one
+    // per-tensor free-level combination digit each (matching
+    // blockCounts); otherwise one raw mask digit per level.
+    if (options_.prune_dominated_keeps && !keep_free_levels_.empty()) {
+        for (int l = 0; l < S; ++l) {
+            const auto &ch = keep_choices_[static_cast<std::size_t>(l)];
+            if (ch.size() == 1) {
+                nests[static_cast<std::size_t>(l)].keep = ch.front();
+            }
+        }
+        auto rel = relevantLevelMasks(factors);
+        const int F = static_cast<int>(keep_free_levels_.size());
+        std::vector<std::uint32_t> combo(static_cast<std::size_t>(T),
+                                         0);
+        for (int tt = 0; tt < T; ++tt) {
+            auto combos =
+                keepCombos(tt, rel[static_cast<std::size_t>(tt)]);
+            std::int64_t n = static_cast<std::int64_t>(combos.size());
+            combo[static_cast<std::size_t>(tt)] =
+                combos[static_cast<std::size_t>(rest % n)];
+            rest /= n;
+        }
+        for (int i = 0; i < F; ++i) {
+            int l = keep_free_levels_[static_cast<std::size_t>(i)];
+            std::vector<bool> keep(static_cast<std::size_t>(T));
+            bool all = true;
+            for (int tt = 0; tt < T; ++tt) {
+                bool bit = (combo[static_cast<std::size_t>(tt)] >>
+                            static_cast<unsigned>(i)) &
+                           1u;
+                keep[static_cast<std::size_t>(tt)] = bit;
+                all = all && bit;
+            }
+            // All-true is canonically the empty (keep-all) mask.
+            nests[static_cast<std::size_t>(l)].keep =
+                all ? std::vector<bool>{} : std::move(keep);
+        }
+    } else {
+        for (int l = 0; l < S; ++l) {
+            const auto &keeps =
+                keep_choices_[static_cast<std::size_t>(l)];
+            std::int64_t kn = static_cast<std::int64_t>(keeps.size());
+            nests[static_cast<std::size_t>(l)].keep =
+                keeps[static_cast<std::size_t>(rest % kn)];
+            rest /= kn;
+        }
     }
     SL_ASSERT(rest == 0, "mapspace index decode left a residue");
     return Mapping(std::move(nests));

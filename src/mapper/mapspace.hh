@@ -21,6 +21,32 @@
  * rejection sampling into the search loop and burned most of a
  * constrained search's budget on invalid draws.
  *
+ * Construction is a pipeline of passes over the raw axes:
+ *
+ *  1. **Constraint pruning** (always on) — constrained axes are pruned
+ *     before anything samples or enumerates them.
+ *  2. **Symmetry reduction** (`prune_symmetry`) — per-level loop
+ *     orders are deduplicated to canonical form: adjacent loops whose
+ *     dimensions have identical tensor-relevance signatures commute
+ *     without changing any traffic count, so only orders whose maximal
+ *     adjacent same-class runs are ascending are enumerated.
+ *  3. **Keep-dominance pruning** (`prune_dominated_keeps`) — keeping a
+ *     tensor at a level is provably useless when no loop between it
+ *     and the next-inner keeping level is relevant to the tensor (the
+ *     kept tile is delivered once and never reused); such keep
+ *     configurations are dominated on every metric and dropped.
+ *  4. **Capacity-dominance pruning** (`prune_capacity_tilings`) —
+ *     tilings whose minimum possible occupancy (tensors kept under
+ *     every admissible mask) overflows some level's capacity can never
+ *     evaluate valid and are dropped whole. Only provable against
+ *     dense (uncompressed) footprints, so the `Mapper` disables it
+ *     when format SAFs are in play.
+ *
+ * The passes reshape **enumeration only** (`mappingAt`, `size()`, the
+ * per-pass `pruneStats()` report); `sampleMapping`, `Point`
+ * coordinates, neighborhoods, and crossover stay on the raw axes so
+ * stochastic strategies keep their historical RNG behavior.
+ *
  * The IR reports its size (exactly when the space is small enough to
  * enumerate, as a product-form upper bound otherwise) and serves three
  * access patterns, one per search strategy:
@@ -43,6 +69,7 @@
 #include <cstdint>
 #include <optional>
 #include <random>
+#include <unordered_map>
 #include <vector>
 
 #include "mapping/mapping.hh"
@@ -97,11 +124,63 @@ struct MapSpaceOptions
     /**
      * Enumerate keep/bypass masks as a search axis at levels below the
      * outermost (which always keeps everything so each tensor has a
-     * backing store). Off by default: bypass exploration multiplies the
-     * space by 2^tensors per level, and the pre-IR mapper never
-     * explored it, so it is opt-in to preserve result compatibility.
+     * backing store). On by default: the paper's co-design results
+     * hinge on exploring which tensors each level buffers, and the
+     * pruning passes below keep the blow-up searchable. Set to false
+     * to reproduce the historical keep-all-only space.
      */
-    bool explore_bypass = false;
+    bool explore_bypass = true;
+    /**
+     * Enumerate only canonical loop orders per level: adjacent loops
+     * over dimensions with identical tensor-relevance signatures
+     * commute without changing any traffic count, so one
+     * representative per equivalence class suffices. Lossless.
+     */
+    bool prune_symmetry = true;
+    /**
+     * Drop keep configurations in which some tensor is kept at a
+     * level with no reuse: no loop between that level and the
+     * next-inner keeping level is relevant to the tensor, so the kept
+     * tile is filled and read exactly once per delivery — bypassing is
+     * never worse on any metric. Lossless up to metric ties.
+     */
+    bool prune_dominated_keeps = true;
+    /**
+     * Drop tilings whose minimum possible occupancy (summing tensors
+     * kept under every admissible keep choice) overflows a level's
+     * capacity: every point of such a tiling fails the engine's
+     * capacity check. Only provable against dense footprints — the
+     * Mapper turns this off when format SAFs could compress tiles.
+     */
+    bool prune_capacity_tilings = true;
+};
+
+/**
+ * Per-pass pruned-point accounting of the construction pipeline,
+ * surfaced through `MapperResult::prune_stats`. Counts are exact when
+ * the tiling cross-product is enumerable (`exact`), even when the raw
+ * point total exceeds the indexed-enumeration limit; on the
+ * estimate path only `raw_points` is populated.
+ */
+struct MapSpacePruneStats
+{
+    /** Points of the constraint-pruned space before pipeline passes. */
+    double raw_points = 0.0;
+    /** Points removed by canonical-order symmetry reduction. */
+    double pruned_symmetry = 0.0;
+    /** Points removed by keep-dominance pruning. */
+    double pruned_dominated_keeps = 0.0;
+    /** Points removed with capacity-dominated tilings. */
+    double pruned_capacity_tilings = 0.0;
+    /** Whether the per-pass counts are exact. */
+    bool exact = false;
+
+    /** Points surviving every pass (the enumerated quotient). */
+    double keptPoints() const
+    {
+        return raw_points - pruned_symmetry - pruned_dominated_keeps -
+               pruned_capacity_tilings;
+    }
 };
 
 /** Size report of a mapspace. */
@@ -167,6 +246,26 @@ class MapSpace
 
     const MapSpaceSize &size() const { return size_; }
 
+    /** Per-pass pruned-point report of the construction pipeline. */
+    const MapSpacePruneStats &pruneStats() const { return prune_stats_; }
+
+    /** Number of tiling combinations (cross-product of per-dimension
+     *  split counts, saturating). The coarse axis of hierarchical
+     *  search. */
+    std::int64_t tilingCount() const;
+
+    /**
+     * Coarse representatives of one tiling combination: the default
+     * (reconciled) loop order, the first spatial candidate per level,
+     * and up to @p max_keeps keep-mask combinations strided evenly
+     * across the joint keep axis — the quotient points a hierarchical
+     * search scores before refining winners' fine coordinates.
+     * Requires `pointEncodable()` and `0 <= tiling_index <
+     * tilingCount()`.
+     */
+    std::vector<Point> coarsePoints(std::int64_t tiling_index,
+                                    int max_keeps) const;
+
     /** Levels at which @p dim may carry a factor > 1 (ascending). */
     const std::vector<int> &allowedLevels(int dim) const
     {
@@ -209,8 +308,11 @@ class MapSpace
     Mapping sampleMapping(std::uint64_t seed) const;
 
     /**
-     * The @p index -th point of the exact enumeration (duplicate-free,
-     * covers every mapping `sampleMapping` can produce). Requires
+     * The @p index -th point of the exact enumeration (duplicate-free).
+     * With the pruning passes off the enumeration covers every mapping
+     * `sampleMapping` can produce; with them on it covers the quotient
+     * space — every sampled mapping has an enumerated representative
+     * with identical traffic on every metric. Requires
      * `size().enumerable >= 0` and `0 <= index < size().enumerable`.
      */
     Mapping mappingAt(std::int64_t index) const;
@@ -312,10 +414,53 @@ class MapSpace
     std::vector<std::vector<std::int64_t>>
     tilingFactors(const std::vector<std::size_t> &tiling) const;
 
-    /** Point count of one tiling combination (saturating). */
-    std::int64_t
-    blockSize(const std::vector<std::vector<std::int64_t>> &factors)
-        const;
+    /** Bitmask of dimensions tiled (factor > 1) at one level. */
+    std::uint64_t tiledMask(
+        const std::vector<std::int64_t> &level_factors) const;
+
+    /** Canonical loop orders of the dimension set @p mask (built
+     *  during construction; every mask reachable by enumeration is
+     *  prebuilt, so lookups are const and thread-safe). */
+    const std::vector<std::vector<int>> &
+    canonicalOrders(std::uint64_t mask) const;
+
+    /** Build and memoize the canonical orders of @p mask
+     *  (construction-time only). */
+    void ensureCanonical(std::uint64_t mask);
+
+    /** Whether enumeration at @p level uses the canonical-order list
+     *  for the tiled set @p mask (symmetry pass on, order free, and
+     *  the set small enough to materialize). */
+    bool canonicalAt(int level, std::uint64_t mask) const;
+
+    /** Per-tensor bitmask of levels carrying a factor-> 1 loop over a
+     *  dimension relevant to the tensor, for one tiling. */
+    std::vector<std::uint64_t> relevantLevelMasks(
+        const std::vector<std::vector<std::int64_t>> &factors) const;
+
+    /**
+     * Admissible free-level keep combinations for tensor @p t
+     * (bit i = tensor kept at `keep_free_levels_[i]`), dominated
+     * combinations removed when `prune_dominated_keeps` is on.
+     * @p relevant_mask is the tensor's entry of relevantLevelMasks.
+     */
+    std::vector<std::uint32_t>
+    keepCombos(int t, std::uint64_t relevant_mask) const;
+
+    /** Whether every point of this tiling overflows some capacity. */
+    bool capacityPruned(
+        const std::vector<std::vector<std::int64_t>> &factors) const;
+
+    /** Per-pass point counts of one tiling combination. */
+    struct BlockCounts
+    {
+        double raw = 0.0;       ///< before pipeline passes
+        double symmetry = 0.0;  ///< after canonical-order reduction
+        double pruned = 0.0;    ///< after keep-dominance pruning
+        std::int64_t block = 0; ///< enumerated size (saturating)
+    };
+    BlockCounts blockCounts(
+        const std::vector<std::vector<std::int64_t>> &factors) const;
 
     const Workload &workload_;
     const Architecture &arch_;
@@ -337,6 +482,17 @@ class MapSpace
     std::vector<std::int64_t> tiling_prefix_;
     MapSpaceSize size_;
     bool empty_ = false;
+
+    /** Per dim: tensor-relevance class id (symmetry reduction). */
+    std::vector<int> dim_class_;
+    /** Levels whose keep axis is open (more than one mask choice),
+     *  ascending. */
+    std::vector<int> keep_free_levels_;
+    /** Canonical loop orders per tiled-dimension bitmask, prebuilt
+     *  during the construction size loop. */
+    std::unordered_map<std::uint64_t, std::vector<std::vector<int>>>
+        canon_;
+    MapSpacePruneStats prune_stats_;
 };
 
 } // namespace sparseloop

@@ -509,6 +509,152 @@ GeneticSearch::roundComplete(
 }
 
 // ---------------------------------------------------------------------------
+// HierarchicalSearch
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Round size of the coarse sweep and of the random fallback phase. */
+constexpr std::size_t kHierarchicalRound = 64;
+
+} // namespace
+
+HierarchicalSearch::HierarchicalSearch(const MapSpace &space,
+                                       std::uint64_t seed,
+                                       std::int64_t budget,
+                                       HierarchicalOptions options)
+    : RoundStrategy(space, seed), options_(options)
+{
+    options_.refine_width = std::max(1, options_.refine_width);
+    options_.keeps_per_tiling = std::max(1, options_.keeps_per_tiling);
+    if (options_.coarse_budget <= 0) {
+        options_.coarse_budget = std::max<std::int64_t>(1, budget / 2);
+    }
+    if (degenerate_) {
+        return;  // base class falls back to seeded random sampling
+    }
+    // Coarse axis: every tiling when they fit the allowance, an even
+    // stride over the tiling index range otherwise.
+    const std::int64_t tilings = space_.tilingCount();
+    const std::int64_t want_tilings = std::max<std::int64_t>(
+        1, options_.coarse_budget / options_.keeps_per_tiling);
+    const std::int64_t n = std::min(tilings, want_tilings);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t t =
+            tilings <= want_tilings ? i : i * (tilings / n);
+        for (MapSpace::Point &p :
+             space_.coarsePoints(t, options_.keeps_per_tiling)) {
+            coarse_pending_.push_back(std::move(p));
+        }
+    }
+}
+
+void
+HierarchicalSearch::warmStart(const std::vector<MapSpace::Point> &points)
+{
+    if (degenerate_) {
+        return;
+    }
+    // Scored ahead of the sweep; they compete for refinement slots.
+    coarse_pending_.insert(coarse_pending_.begin(), points.begin(),
+                           points.end());
+}
+
+void
+HierarchicalSearch::buildRound(std::vector<MapSpace::Point> &out)
+{
+    if (!coarse_done_) {
+        const std::size_t take =
+            std::min(kHierarchicalRound,
+                     coarse_pending_.size() - coarse_next_);
+        out.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            out.push_back(coarse_pending_[coarse_next_ + i]);
+        }
+        return;
+    }
+    // Refinement: one full neighborhood per surviving incumbent,
+    // streamed as a single round. The improve-or-retire decision per
+    // incumbent falls at the round boundary.
+    refine_slices_.clear();
+    for (const Scored &inc : incumbents_) {
+        const std::size_t begin = out.size();
+        for (MapSpace::Point &p : space_.neighbors(inc.point)) {
+            out.push_back(std::move(p));
+        }
+        refine_slices_.emplace_back(begin, out.size());
+    }
+    if (out.empty()) {
+        // Every incumbent stalled (or is isolated): spend the rest of
+        // the budget on seeded random exploration.
+        incumbents_.clear();
+        out.reserve(kHierarchicalRound);
+        for (std::size_t i = 0; i < kHierarchicalRound; ++i) {
+            out.push_back(nextSamplePoint());
+        }
+        refine_slices_.clear();
+    }
+}
+
+void
+HierarchicalSearch::roundComplete(
+    const std::vector<MapSpace::Point> &points,
+    const std::vector<double> &objectives)
+{
+    if (!coarse_done_) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            coarse_scored_.push_back(
+                {points[i], objectives[i], next_order_++});
+        }
+        coarse_next_ += points.size();
+        if (coarse_next_ < coarse_pending_.size()) {
+            return;
+        }
+        // Coarse phase over: the best cells seed the refinement.
+        coarse_done_ = true;
+        std::sort(coarse_scored_.begin(), coarse_scored_.end(),
+                  [](const Scored &a, const Scored &b) {
+                      if (a.objective != b.objective) {
+                          return a.objective < b.objective;
+                      }
+                      return a.order < b.order;
+                  });
+        for (const Scored &s : coarse_scored_) {
+            if (!std::isfinite(s.objective) ||
+                static_cast<int>(incumbents_.size()) >=
+                    options_.refine_width) {
+                break;
+            }
+            incumbents_.push_back(s);
+        }
+        coarse_scored_.clear();
+        coarse_pending_.clear();
+        return;
+    }
+    if (refine_slices_.empty()) {
+        return;  // random fallback round: nothing to update
+    }
+    // Greedy step per incumbent: move to its best strictly improving
+    // neighbor (ties broken by position), retire it otherwise.
+    std::vector<Scored> survivors;
+    for (std::size_t k = 0; k < incumbents_.size(); ++k) {
+        const auto [begin, end] = refine_slices_[k];
+        std::size_t best = begin;
+        for (std::size_t i = begin; i < end; ++i) {
+            if (objectives[i] < objectives[best]) {
+                best = i;
+            }
+        }
+        if (begin < end &&
+            objectives[best] < incumbents_[k].objective) {
+            survivors.push_back(
+                {points[best], objectives[best], next_order_++});
+        }
+    }
+    incumbents_ = std::move(survivors);
+}
+
+// ---------------------------------------------------------------------------
 // Factory
 // ---------------------------------------------------------------------------
 
@@ -566,6 +712,10 @@ makeSearchStrategy(SearchStrategyKind kind, const MapSpace &space,
         warnNotEncodable(space, "genetic search");
         return std::make_unique<GeneticSearch>(space, seed,
                                                tuning.genetic);
+      case SearchStrategyKind::Hierarchical:
+        warnNotEncodable(space, "hierarchical search");
+        return std::make_unique<HierarchicalSearch>(
+            space, seed, budget, tuning.hierarchical);
       case SearchStrategyKind::Auto:
         break;
     }

@@ -33,6 +33,10 @@
  *  - `GeneticSearch` — a population evolved by tournament selection,
  *    axis-wise `MapSpace::crossover`, and neighbor-move mutation; all
  *    offspring are in-space by construction.
+ *  - `HierarchicalSearch` — coarse-then-refine for billion-point
+ *    spaces: sweep the tiling x keep quotient first (one canonical
+ *    representative per cell via `MapSpace::coarsePoints`), then
+ *    refine the winners' fine axes by greedy neighborhood descent.
  *
  * Strategies may also be seeded with starting points re-encoded from a
  * `WarmStartPool` (mapper/warm_start.hh) via `warmStart`, which is how
@@ -60,6 +64,8 @@ enum class SearchStrategyKind
     Hybrid,
     Annealing,
     Genetic,
+    /** Coarse-then-refine over the tiling x keep quotient space. */
+    Hierarchical,
 };
 
 /** `AnnealingSearch` knobs (docs/search.md has usage guidance). */
@@ -106,6 +112,25 @@ struct GeneticOptions
     double mutation_rate = 0.25;
 };
 
+/** `HierarchicalSearch` knobs (docs/search.md has usage guidance). */
+struct HierarchicalOptions
+{
+    /**
+     * Proposals spent on the coarse phase; 0 derives half the sample
+     * budget. The coarse phase scores one representative mapping per
+     * (tiling, keep-mask combination) quotient cell — default loop
+     * order, first spatial candidate — sub-sampling both axes evenly
+     * when the quotient exceeds the allowance.
+     */
+    std::int64_t coarse_budget = 0;
+    /** Coarse winners refined concurrently by greedy neighborhood
+     *  descent (clamped to >= 1). */
+    int refine_width = 4;
+    /** Keep-mask combinations scored per tiling in the coarse phase
+     *  (strided evenly across the joint keep axis; clamped to >= 1). */
+    int keeps_per_tiling = 8;
+};
+
 /** Per-strategy tuning handed through `makeSearchStrategy`. */
 struct SearchTuning
 {
@@ -113,6 +138,7 @@ struct SearchTuning
     std::int64_t hybrid_warmup = 0;
     AnnealingOptions annealing;
     GeneticOptions genetic;
+    HierarchicalOptions hierarchical;
 };
 
 /** One proposed candidate: a mapping plus its global proposal index
@@ -390,6 +416,66 @@ class GeneticSearch : public RoundStrategy
     std::vector<std::int64_t> round_births_;
     std::vector<MapSpace::Point> warm_points_;
     std::int64_t next_birth_ = 0;
+};
+
+/**
+ * Coarse-then-refine search for spaces whose fine axes (loop orders,
+ * spatial picks) drown the budget: phase one sweeps the coarse
+ * quotient — tiling shapes crossed with keep-mask combinations, each
+ * represented by one canonical-order mapping from
+ * `MapSpace::coarsePoints` — and phase two spends the remaining budget
+ * on greedy neighborhood descent from the best
+ * `HierarchicalOptions::refine_width` coarse cells, sharpening their
+ * loop orders, spatial picks, and tilings concurrently. A stalled
+ * incumbent (no improving neighbor in a full round) is retired; when
+ * every incumbent has stalled the remaining budget falls back to
+ * seeded random sampling. All decisions fall at round boundaries, so
+ * results are bit-identical across thread counts and driver batch
+ * sizes, like every other strategy.
+ */
+class HierarchicalSearch : public RoundStrategy
+{
+  public:
+    /**
+     * @param budget the driver's sample budget; sizes the coarse
+     *        phase when `options.coarse_budget == 0`.
+     */
+    HierarchicalSearch(const MapSpace &space, std::uint64_t seed,
+                       std::int64_t budget,
+                       HierarchicalOptions options = {});
+
+    const char *name() const override { return "hierarchical"; }
+    /** Seeded points are scored ahead of the coarse sweep and compete
+     *  for the refinement slots like any coarse cell. */
+    void warmStart(const std::vector<MapSpace::Point> &points) override;
+
+  protected:
+    void buildRound(std::vector<MapSpace::Point> &out) override;
+    void roundComplete(const std::vector<MapSpace::Point> &points,
+                       const std::vector<double> &objectives) override;
+
+  private:
+    /** A scored coarse cell / refinement incumbent. */
+    struct Scored
+    {
+        MapSpace::Point point;
+        double objective = 0.0;
+        std::int64_t order = 0;  ///< scoring rank (deterministic ties)
+    };
+
+    HierarchicalOptions options_;
+    /** Coarse representatives not yet proposed (warm starts first). */
+    std::vector<MapSpace::Point> coarse_pending_;
+    std::size_t coarse_next_ = 0;
+    /** Everything scored during the coarse phase. */
+    std::vector<Scored> coarse_scored_;
+    bool coarse_done_ = false;
+    /** Active refinement incumbents (at most `refine_width`). */
+    std::vector<Scored> incumbents_;
+    /** Per-incumbent [begin, end) slices of the current refinement
+     *  round's point list. */
+    std::vector<std::pair<std::size_t, std::size_t>> refine_slices_;
+    std::int64_t next_order_ = 0;
 };
 
 /**

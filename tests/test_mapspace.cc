@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/logging.hh"
@@ -226,14 +228,88 @@ TEST(MapSpace, ExploreBypassExpandsTheKeepAxis)
 {
     Workload w = makeMatmul(4, 4, 4);
     Architecture arch = searchArch();
-    MapSpace plain(w, arch);
-    MapSpaceOptions opts;
-    opts.explore_bypass = true;
-    MapSpace bypass(w, arch, {}, opts);
-    // 2^3 keep masks at the non-outermost level.
+    MapSpaceOptions closed;
+    closed.explore_bypass = false;
+    MapSpace plain(w, arch, {}, closed);
+    MapSpace bypass(w, arch);  // bypass exploration is the default
+    // 2^3 keep masks at the non-outermost level (the empty keep-all
+    // choice plus the 7 proper masks).
     EXPECT_EQ(plain.keepChoices(1).size(), 1u);
     EXPECT_EQ(bypass.keepChoices(1).size(), 8u);
     EXPECT_GT(bypass.size().points, plain.size().points);
+}
+
+TEST(MapSpace, PruningPassesAreLossless)
+{
+    // CONV has interchangeable dimensions for canonical-form symmetry
+    // reduction to collapse (C, R, S all touch Inputs and Weights but
+    // not Outputs), and a three-level hierarchy gives keep-dominance
+    // an inner keep level to compare against.
+    ConvLayerShape shape;
+    shape.name = "tiny";
+    shape.k = 2;
+    shape.c = 2;
+    shape.r = 2;
+    shape.s = 2;
+    Workload w = makeConv(shape);
+    StorageLevelSpec dram;
+    dram.name = "DRAM";
+    dram.storage_class = StorageClass::DRAM;
+    dram.bandwidth_words_per_cycle = 16.0;
+    StorageLevelSpec l1;
+    l1.name = "L1";
+    l1.capacity_words = 1024;
+    l1.bandwidth_words_per_cycle = 8.0;
+    StorageLevelSpec l0;
+    l0.name = "L0";
+    l0.capacity_words = 256;
+    l0.bandwidth_words_per_cycle = 4.0;
+    Architecture arch("three", {dram, l1, l0}, ComputeSpec{});
+
+    MapSpaceOptions raw_opts;
+    raw_opts.prune_symmetry = false;
+    raw_opts.prune_dominated_keeps = false;
+    raw_opts.prune_capacity_tilings = false;
+    MapSpace raw(w, arch, {}, raw_opts);
+    MapSpace pruned(w, arch);  // all passes on by default
+
+    ASSERT_TRUE(raw.size().exact);
+    ASSERT_TRUE(pruned.size().exact);
+    ASSERT_GT(raw.size().enumerable, 0);
+    ASSERT_LT(pruned.size().enumerable, raw.size().enumerable);
+
+    // The per-pass accounting is consistent: kept = raw - pruned, the
+    // raw count matches the unpruned space, and both interesting
+    // passes actually fired on this workload.
+    const MapSpacePruneStats &stats = pruned.pruneStats();
+    EXPECT_TRUE(stats.exact);
+    EXPECT_DOUBLE_EQ(stats.raw_points, raw.size().points);
+    EXPECT_DOUBLE_EQ(stats.keptPoints(), pruned.size().points);
+    EXPECT_GT(stats.pruned_symmetry, 0.0);
+    EXPECT_GT(stats.pruned_dominated_keeps, 0.0);
+
+    // Losslessness: exhaustive search over the raw space and over the
+    // pruned space reach the same optimum objective. The pruned
+    // enumeration is a strict subset, so equality here proves every
+    // pruned point was dominated.
+    Engine engine(arch);
+    SafSpec none;
+    auto best_of = [&](const MapSpace &space) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::int64_t i = 0; i < space.size().enumerable; ++i) {
+            EvalResult eval =
+                engine.evaluate(w, space.mappingAt(i), none);
+            if (!eval.valid) {
+                continue;
+            }
+            best = std::min(best, eval.energy_pj * eval.cycles);
+        }
+        return best;
+    };
+    const double raw_best = best_of(raw);
+    const double pruned_best = best_of(pruned);
+    ASSERT_TRUE(std::isfinite(raw_best));
+    EXPECT_DOUBLE_EQ(pruned_best, raw_best);
 }
 
 TEST(MapSpaceConstraints, ValidationRejectsBrokenConstraints)

@@ -119,6 +119,9 @@ TEST(RandomSearch, BitIdenticalToLegacyRejectionSampler)
     MapperOptions opts;
     opts.samples = 300;
     opts.strategy = SearchStrategyKind::Random;
+    // The pre-IR sampler predates the bypass axis: close it so the
+    // RNG streams line up draw for draw.
+    opts.mapspace.explore_bypass = false;
 
     // Replay the pre-IR search loop: sequential scan keeping the first
     // strictly-better candidate.
@@ -182,7 +185,9 @@ TEST(ExhaustiveSearch, FindsTheProvableOptimumWhereRandomCanMiss)
     cons.levels[1].loop_order = {w.dimIndex("M"), w.dimIndex("K")};
 
     MapperOptions opts;
-    opts.samples = 400;
+    // Room for the open bypass axis (x8 keep masks at the buffer):
+    // the space must still fit the budget for Auto to go exhaustive.
+    opts.samples = 4000;
     MapperResult r = Mapper(w, arch, none, opts, cons).search();
     ASSERT_TRUE(r.found);
     // Auto upgrades to exhaustive: the pruned space fits the budget.
@@ -240,7 +245,8 @@ TEST(SearchStrategies, ConstraintsHonoredUnderEveryStrategy)
     for (SearchStrategyKind kind :
          {SearchStrategyKind::Random, SearchStrategyKind::Exhaustive,
           SearchStrategyKind::Hybrid, SearchStrategyKind::Annealing,
-          SearchStrategyKind::Genetic}) {
+          SearchStrategyKind::Genetic,
+          SearchStrategyKind::Hierarchical}) {
         MapperOptions opts;
         opts.samples = 300;
         opts.strategy = kind;
@@ -275,9 +281,10 @@ TEST(SearchStrategies, DeterministicAcrossRunsAndThreadsPerStrategy)
     for (SearchStrategyKind kind :
          {SearchStrategyKind::Random, SearchStrategyKind::Exhaustive,
           SearchStrategyKind::Hybrid, SearchStrategyKind::Annealing,
-          SearchStrategyKind::Genetic}) {
+          SearchStrategyKind::Genetic,
+          SearchStrategyKind::Hierarchical}) {
         MapperOptions opts;
-        opts.samples = kind == SearchStrategyKind::Exhaustive ? 2000 : 300;
+        opts.samples = kind == SearchStrategyKind::Exhaustive ? 4000 : 300;
         opts.strategy = kind;
         // One evaluation worker, run twice: same seed -> same result.
         MapperResult seq = Mapper(w, arch, safs, opts, cons).search();
@@ -343,14 +350,16 @@ TEST(SearchStrategies, RoundStrategiesAreBatchSizeIndependent)
     Architecture arch = searchArch();
     SafSpec none;
     for (SearchStrategyKind kind :
-         {SearchStrategyKind::Annealing, SearchStrategyKind::Genetic}) {
+         {SearchStrategyKind::Annealing, SearchStrategyKind::Genetic,
+          SearchStrategyKind::Hierarchical}) {
         MapperOptions opts;
         opts.samples = 300;
         opts.strategy = kind;
         opts.batch_size = 256;
         MapperResult big = Mapper(w, arch, none, opts).search();
-        // 7 deliberately does not divide the annealing round size (8)
-        // or the genetic population (24), so rounds straddle batches.
+        // 7 deliberately does not divide the annealing round size (8),
+        // the genetic population (24), or the hierarchical coarse
+        // round (64), so rounds straddle batches.
         opts.batch_size = 7;
         MapperResult small = Mapper(w, arch, none, opts).search();
         ASSERT_TRUE(big.found);
@@ -415,7 +424,8 @@ TEST(WarmStart, RestartNeverLosesTheRecordedElite)
 
     for (SearchStrategyKind kind :
          {SearchStrategyKind::Annealing, SearchStrategyKind::Genetic,
-          SearchStrategyKind::Hybrid}) {
+          SearchStrategyKind::Hybrid,
+          SearchStrategyKind::Hierarchical}) {
         auto pool = std::make_shared<WarmStartPool>();
         MapperOptions opts;
         opts.samples = 200;
@@ -510,6 +520,10 @@ TEST(SearchStrategies, AllInvalidBudgetIsDistinguishable)
     MapperOptions opts;
     opts.samples = 100;
     opts.strategy = SearchStrategyKind::Random;
+    // With the bypass axis open the search would (correctly) stream
+    // every tensor past the two-word buffer and find valid mappings;
+    // close it so every candidate genuinely overflows.
+    opts.mapspace.explore_bypass = false;
     MapperResult r = Mapper(w, arch, none, opts).search();
     EXPECT_FALSE(r.found);
     EXPECT_EQ(r.status, SearchStatus::kNoValidCandidate);
