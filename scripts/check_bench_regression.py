@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the engine microbenchmark.
+
+Compares a fresh BENCH_engine.json (produced by scripts/run_perf.sh)
+against the committed baseline and fails when the engine's speed
+story regresses:
+
+  * every baseline workload must still be measured;
+  * the cold three-step engine must stay >= --min-speedup times the
+    frozen naive reference (the campaign's committed floor);
+  * the per-workload speedup-vs-reference must not fall more than
+    --ratio-tolerance below the committed baseline's ratio.
+
+Ratios are compared rather than raw evals/sec because both sides of
+a ratio are measured in the same process on the same machine, so the
+comparison is meaningful across hosts; absolute rates are only
+reported (or gated with --strict-absolute, for same-machine runs).
+
+Exit code 0 = pass, 1 = regression, 2 = usage/schema error.
+Uses only the Python standard library.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "sparseloop-bench-engine/v1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    if doc.get("schema") != SCHEMA:
+        print(f"error: {path}: schema {doc.get('schema')!r}, "
+              f"expected {SCHEMA!r}", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def by_name(doc):
+    return {w["name"]: w for w in doc.get("workloads", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="fresh BENCH_engine.json to check")
+    ap.add_argument("--baseline",
+                    default="bench/baselines/BENCH_engine.json",
+                    help="committed baseline (default: %(default)s)")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="required cold engine/reference speedup "
+                         "(default: %(default)s)")
+    ap.add_argument("--ratio-tolerance", type=float, default=0.35,
+                    help="allowed fractional drop of the speedup ratio "
+                         "vs the baseline; generous because shared "
+                         "runners are noisy even with the harness's "
+                         "best-of-3 interleaved sampling "
+                         "(default: %(default)s)")
+    ap.add_argument("--abs-tolerance", type=float, default=0.30,
+                    help="allowed fractional drop of absolute cold "
+                         "evals/sec, only gated with --strict-absolute "
+                         "(default: %(default)s)")
+    ap.add_argument("--strict-absolute", action="store_true",
+                    help="also fail on absolute evals/sec drops "
+                         "(same-machine comparisons only)")
+    args = ap.parse_args()
+
+    fresh = by_name(load(args.fresh))
+    base = by_name(load(args.baseline))
+
+    failures = []
+    notes = []
+
+    missing = sorted(set(base) - set(fresh))
+    if missing:
+        failures.append(f"workloads missing from fresh run: {missing}")
+
+    for name in sorted(set(base) & set(fresh)):
+        f_cold = fresh[name]["cold"]
+        b_cold = base[name]["cold"]
+        f_ratio = f_cold["speedup_vs_reference"]
+        b_ratio = b_cold["speedup_vs_reference"]
+
+        if f_ratio < args.min_speedup:
+            failures.append(
+                f"{name}: cold speedup vs reference {f_ratio:.2f}x "
+                f"below the committed floor {args.min_speedup:.2f}x")
+        floor = b_ratio * (1.0 - args.ratio_tolerance)
+        if f_ratio < floor:
+            failures.append(
+                f"{name}: cold speedup {f_ratio:.2f}x regressed more "
+                f"than {args.ratio_tolerance:.0%} below baseline "
+                f"{b_ratio:.2f}x (floor {floor:.2f}x)")
+
+        f_abs = f_cold["engine_evals_per_sec"]
+        b_abs = b_cold["engine_evals_per_sec"]
+        abs_floor = b_abs * (1.0 - args.abs_tolerance)
+        line = (f"{name}: cold {f_abs:,.0f}/s (baseline {b_abs:,.0f}/s), "
+                f"speedup {f_ratio:.2f}x (baseline {b_ratio:.2f}x)")
+        if f_abs < abs_floor and args.strict_absolute:
+            failures.append(
+                f"{name}: cold {f_abs:,.0f}/s below absolute floor "
+                f"{abs_floor:,.0f}/s (--strict-absolute)")
+        elif f_abs < abs_floor:
+            line += "  [absolute drop, not gated across machines]"
+        notes.append(line)
+
+    for line in notes:
+        print(line)
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

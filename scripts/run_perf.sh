@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Build the engine microbenchmark in Release (-O2/NDEBUG) and emit a
+# fresh machine-readable BENCH_engine.json. The committed baseline
+# lives at bench/baselines/BENCH_engine.json; compare a fresh run
+# against it with scripts/check_bench_regression.py, and refresh the
+# baseline by pointing this script at that path (see
+# docs/benchmarks.md for the full procedure).
+# Usage: scripts/run_perf.sh [output.json] [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+out_json="${1:-${repo_root}/BENCH_engine.json}"
+build_dir="${2:-${repo_root}/build-perf}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j --target perf_engine
+
+"${build_dir}/bench/perf_engine" "${out_json}"
+echo "wrote ${out_json}"

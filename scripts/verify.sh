@@ -7,7 +7,9 @@
 # src/model, src/mapper, and src/common are errors, mirroring the CI
 # docs job). A second explicit Release (-O2/NDEBUG) build-and-ctest
 # pass runs alongside the default config; skip it with
-# SPARSELOOP_SKIP_RELEASE=1.
+# SPARSELOOP_SKIP_RELEASE=1. The engine perf gate (Release
+# microbenchmark vs the committed bench/baselines/BENCH_engine.json)
+# can be skipped with SPARSELOOP_SKIP_PERF=1.
 # Usage: scripts/verify.sh [build-dir]
 set -euo pipefail
 
@@ -36,6 +38,17 @@ if [[ "${SPARSELOOP_SKIP_RELEASE:-0}" != "1" ]]; then
     ctest --test-dir "${release_dir}" --output-on-failure -j
     echo "== mapspace pruning ablation (Release, billion-point sizes) =="
     "${release_dir}/bench/ablation_mapspace_pruning"
+fi
+
+if [[ "${SPARSELOOP_SKIP_PERF:-0}" != "1" ]]; then
+    echo "== engine perf gate (fresh run vs committed baseline) =="
+    "${repo_root}/scripts/run_perf.sh" "${build_dir}-perf/BENCH_engine.json" \
+        "${build_dir}-perf"
+    python3 "${repo_root}/scripts/check_bench_regression.py" \
+        "${build_dir}-perf/BENCH_engine.json" \
+        --baseline "${repo_root}/bench/baselines/BENCH_engine.json"
+else
+    echo "== engine perf gate skipped (SPARSELOOP_SKIP_PERF=1) =="
 fi
 
 echo "== docs link check (intra-repo markdown links) =="

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Bump-pointer arena for the engine's per-evaluation scratch memory.
+ *
+ * Each engine evaluation needs a handful of short-lived flat arrays
+ * (per-level dim tiles, per-SAF elimination probabilities, per-record
+ * block-inflation factors). Allocating them with `new`/`std::vector`
+ * costs one malloc round-trip each, every evaluation, across millions
+ * of evaluations in a search. The arena instead hands out memory by
+ * bumping a pointer within reusable blocks: a scope marks the arena on
+ * entry and releases back to the mark on exit, so the blocks warm up
+ * once and every later evaluation on the same thread allocates without
+ * touching the system allocator.
+ *
+ * Scopes nest (the dataflow step runs inside the sparse step's scope),
+ * which is why release is mark-based rather than a whole-arena reset.
+ * Only trivially-destructible element types are allowed — nothing is
+ * destroyed on release, memory is simply reused.
+ *
+ * Thread safety: none by design; use one arena per thread (see
+ * `evalScratchArena()`).
+ */
+
+#ifndef SPARSELOOP_COMMON_ARENA_HH
+#define SPARSELOOP_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace sparseloop {
+
+class Arena
+{
+  public:
+    /** @param first_block_bytes size of the first block allocated. */
+    explicit Arena(std::size_t first_block_bytes = 4096)
+        : first_block_bytes_(first_block_bytes)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** A resumable position: everything allocated after a mark is
+     *  reclaimed by `release(mark)`. */
+    struct Mark
+    {
+        std::size_t block = 0;
+        std::size_t used = 0;
+    };
+
+    /** Current position. */
+    Mark mark() const { return {active_, currentUsed()}; }
+
+    /** Reclaim every allocation made since @p m (memory is retained
+     *  for reuse, nothing is destroyed). */
+    void release(Mark m)
+    {
+        for (std::size_t b = m.block + 1; b < blocks_.size(); ++b) {
+            blocks_[b].used = 0;
+        }
+        if (m.block < blocks_.size()) {
+            blocks_[m.block].used = m.used;
+        }
+        active_ = m.block;
+    }
+
+    /** Reclaim everything (blocks are kept for reuse). */
+    void reset() { release({0, 0}); }
+
+    /**
+     * Allocate a zero-initialized array of @p n elements. The pointer
+     * stays valid until the enclosing mark is released.
+     */
+    template <typename T>
+    T *allocArray(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible<T>::value,
+                      "arena memory is reclaimed without destruction");
+        if (n == 0) {
+            return nullptr;
+        }
+        void *raw = allocate(n * sizeof(T), alignof(T));
+        T *p = static_cast<T *>(raw);
+        for (std::size_t i = 0; i < n; ++i) {
+            ::new (static_cast<void *>(p + i)) T();
+        }
+        return p;
+    }
+
+    /** Bytes currently handed out (across all blocks). */
+    std::size_t allocatedBytes() const
+    {
+        std::size_t total = 0;
+        for (std::size_t b = 0; b <= active_ && b < blocks_.size(); ++b) {
+            total += blocks_[b].used;
+        }
+        return total;
+    }
+
+    /** Bytes of backing capacity currently owned. */
+    std::size_t capacityBytes() const
+    {
+        std::size_t total = 0;
+        for (const Block &block : blocks_) {
+            total += block.size;
+        }
+        return total;
+    }
+
+    /** Number of backing blocks (growth diagnostic). */
+    std::size_t blockCount() const { return blocks_.size(); }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<unsigned char[]> mem;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    std::size_t currentUsed() const
+    {
+        return blocks_.empty() ? 0 : blocks_[active_].used;
+    }
+
+    void *allocate(std::size_t bytes, std::size_t align)
+    {
+        if (!blocks_.empty()) {
+            Block &blk = blocks_[active_];
+            std::size_t offset = alignUp(blk.used, align);
+            if (offset + bytes <= blk.size) {
+                blk.used = offset + bytes;
+                return blk.mem.get() + offset;
+            }
+            // Try the next retained block before growing.
+            if (active_ + 1 < blocks_.size() &&
+                bytes + align <= blocks_[active_ + 1].size) {
+                ++active_;
+                blocks_[active_].used = 0;
+                return allocate(bytes, align);
+            }
+        }
+        std::size_t want = bytes + align;
+        std::size_t size = blocks_.empty()
+            ? first_block_bytes_
+            : blocks_.back().size * 2;
+        while (size < want) {
+            size *= 2;
+        }
+        Block blk;
+        blk.mem = std::make_unique<unsigned char[]>(size);
+        blk.size = size;
+        blocks_.push_back(std::move(blk));
+        active_ = blocks_.size() - 1;
+        return allocate(bytes, align);
+    }
+
+    static std::size_t alignUp(std::size_t v, std::size_t align)
+    {
+        return (v + align - 1) & ~(align - 1);
+    }
+
+    std::size_t first_block_bytes_;
+    std::vector<Block> blocks_;
+    std::size_t active_ = 0;
+};
+
+/** RAII arena scope: marks on entry, releases on exit. */
+class ArenaScope
+{
+  public:
+    explicit ArenaScope(Arena &arena)
+        : arena_(arena), mark_(arena.mark())
+    {
+    }
+    ~ArenaScope() { arena_.release(mark_); }
+
+    ArenaScope(const ArenaScope &) = delete;
+    ArenaScope &operator=(const ArenaScope &) = delete;
+
+    Arena &arena() { return arena_; }
+
+  private:
+    Arena &arena_;
+    Arena::Mark mark_;
+};
+
+/**
+ * The per-thread scratch arena the engine's modeling steps share.
+ * Warm after the first evaluation on a thread; every later evaluation
+ * allocates its scratch without calling the system allocator.
+ */
+Arena &evalScratchArena();
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_COMMON_ARENA_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A dense 2-D matrix stored as one contiguous buffer.
+ *
+ * The engine's traffic tables are [storage level][tensor] grids. As
+ * vector-of-vectors each evaluation paid one allocation per level and
+ * scattered the records across the heap; as a flat matrix the whole
+ * grid is a single allocation with rows adjacent in memory, which both
+ * cuts allocator traffic on the hot path and makes the level/tensor
+ * sweeps of the sparse and micro-architecture steps cache-friendly.
+ *
+ * `operator[]` returns a pointer to the row, so existing
+ * `grid[level][tensor]` call sites read unchanged. Equality is
+ * element-wise over (rows, cols, data) — the same value semantics the
+ * vector-of-vectors had, which the `EvalResult` bit-identity contract
+ * relies on.
+ */
+
+#ifndef SPARSELOOP_COMMON_FLAT_MATRIX_HH
+#define SPARSELOOP_COMMON_FLAT_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sparseloop {
+
+template <typename T>
+class FlatMatrix
+{
+  public:
+    FlatMatrix() = default;
+
+    FlatMatrix(std::size_t rows, std::size_t cols, const T &value = T())
+    {
+        assign(rows, cols, value);
+    }
+
+    /** Resize to rows x cols, every element set to @p value. */
+    void assign(std::size_t rows, std::size_t cols, const T &value = T())
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, value);
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    T *operator[](std::size_t row) { return data_.data() + row * cols_; }
+    const T *operator[](std::size_t row) const
+    {
+        return data_.data() + row * cols_;
+    }
+
+    T &at(std::size_t row, std::size_t col)
+    {
+        return data_[row * cols_ + col];
+    }
+    const T &at(std::size_t row, std::size_t col) const
+    {
+        return data_[row * cols_ + col];
+    }
+
+    /** The contiguous backing store (row-major). */
+    const std::vector<T> &flat() const { return data_; }
+    std::vector<T> &flat() { return data_; }
+
+    bool operator==(const FlatMatrix &o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+    }
+    bool operator!=(const FlatMatrix &o) const { return !(*this == o); }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_COMMON_FLAT_MATRIX_HH

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 
 namespace sparseloop {
@@ -113,34 +114,96 @@ NestAnalysis::analyze() const
 
     const int S = mapping_.levelCount();
     const int T = workload_.tensorCount();
+    const int D = workload_.dimCount();
     DenseTraffic out;
-    out.levels.assign(S, std::vector<TensorLevelDense>(T));
+    out.levels.assign(S, T);
     out.instances.resize(S);
-    for (int l = 0; l < S; ++l) {
-        out.instances[l] = mapping_.instancesAtLevel(l);
+
+    ArenaScope scope(evalScratchArena());
+    Arena &arena = scope.arena();
+
+    // Dim-tile table: row l holds dimTilesAtLevel(l) for l in [0, S],
+    // built by one suffix sweep instead of S independent rescans. The
+    // products accumulate in a different order than dimTilesAtLevel's,
+    // but integer multiplication is order-independent, so the values
+    // (and everything derived from them) are identical.
+    std::int64_t *tiles = arena.allocArray<std::int64_t>(
+        static_cast<std::size_t>(S + 1) * D);
+    for (int d = 0; d < D; ++d) {
+        tiles[static_cast<std::size_t>(S) * D + d] = 1;
     }
-    out.compute_instances = mapping_.computeInstances();
+    for (int l = S; l-- > 0;) {
+        std::int64_t *row = tiles + static_cast<std::size_t>(l) * D;
+        const std::int64_t *below =
+            tiles + static_cast<std::size_t>(l + 1) * D;
+        std::copy(below, below + D, row);
+        for (const auto &loop : mapping_.level(l).loops) {
+            row[loop.dim] *= loop.bound;
+        }
+    }
+
+    // Instance counts: prefix products over spatial bounds, matching
+    // instancesAtLevel level by level.
+    {
+        std::int64_t inst = 1;
+        for (int l = 0; l < S; ++l) {
+            out.instances[l] = inst;
+            for (const auto &loop : mapping_.level(l).loops) {
+                if (loop.spatial) {
+                    inst *= loop.bound;
+                }
+            }
+        }
+        out.compute_instances = inst;
+    }
     out.computes = static_cast<double>(workload_.denseComputeCount());
 
     for (int l = 0; l < S; ++l) {
-        auto tiles = mapping_.dimTilesAtLevel(workload_, l);
+        const std::int64_t *row =
+            tiles + static_cast<std::size_t>(l) * D;
+        TensorLevelDense *level = out.levels[l];
         for (int t = 0; t < T; ++t) {
-            auto &rec = out.levels[l][t];
+            auto &rec = level[t];
             rec.kept = (l == 0) || mapping_.level(l).keeps(t);
-            rec.tile_extents = workload_.tensorTileExtents(t, tiles);
+            workload_.tensorTileExtentsInto(t, row, rec.tile_extents);
             rec.footprint =
                 static_cast<double>(volume(rec.tile_extents));
         }
     }
 
+    // transferCount with the footprint/instances lookups precomputed
+    // above; the temporal multiplier is evaluated identically.
+    auto transfer = [&](int t, int lvl) {
+        double footprint;
+        std::int64_t instances;
+        if (lvl >= S) {
+            footprint = 1.0;
+            instances = out.compute_instances;
+            lvl = S;
+        } else {
+            footprint = out.levels[lvl][t].footprint;
+            instances = out.instances[lvl];
+        }
+        return footprint * static_cast<double>(instances) *
+               temporalMultiplier(t, lvl);
+    };
+
+    SmallVector<int, 8> keeps;
     for (int t = 0; t < T; ++t) {
         const bool is_output = workload_.tensor(t).is_output;
-        auto keeps = keepLevels(t);
+        keeps.clear();
+        for (int l = 0; l < S; ++l) {
+            if (l == 0 || mapping_.level(l).keeps(t)) {
+                keeps.push_back(l);
+            }
+        }
+        SL_ASSERT(!keeps.empty() && keeps.front() == 0,
+                  "keepLevels invariant violated for tensor ", t);
         // Traffic between consecutive keeping levels.
         for (std::size_t i = 0; i + 1 < keeps.size(); ++i) {
             int a = keeps[i];
             int b = keeps[i + 1];
-            double x = transferCount(t, b);
+            double x = transfer(t, b);
             double mcast = multicastFactor(t, a, b);
             if (is_output) {
                 out.levels[b][t].drains += x;
@@ -152,7 +215,7 @@ NestAnalysis::analyze() const
         }
         // Boundary between the innermost keeping level and compute.
         int inner = keeps.back();
-        double x = transferCount(t, S);
+        double x = transfer(t, S);
         double mcast = multicastFactor(t, inner, S);
         if (is_output) {
             out.levels[inner][t].updates += x / mcast;
@@ -164,7 +227,7 @@ NestAnalysis::analyze() const
         if (is_output) {
             for (int a : keeps) {
                 auto &rec = out.levels[a][t];
-                double residencies = transferCount(t, a);
+                double residencies = transfer(t, a);
                 rec.acc_reads =
                     std::max(0.0, rec.updates - residencies);
             }

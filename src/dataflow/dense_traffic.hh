@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "arch/architecture.hh"
+#include "common/flat_matrix.hh"
+#include "common/small_vector.hh"
 #include "mapping/mapping.hh"
 #include "workload/workload.hh"
 
@@ -44,7 +46,7 @@ struct TensorLevelDense
     /** Per-instance tile footprint in elements. */
     double footprint = 0.0;
     /** Tile extents per tensor rank at this level. */
-    Shape tile_extents;
+    TileExtents tile_extents;
     /** Element-writes into this level from the parent (operands). */
     double fills = 0.0;
     /** Element-reads out of this level serving children / compute. */
@@ -74,8 +76,8 @@ struct TensorLevelDense
 /** Result of the dataflow modeling step. */
 struct DenseTraffic
 {
-    /** [level][tensor] traffic records. */
-    std::vector<std::vector<TensorLevelDense>> levels;
+    /** [level][tensor] traffic records (contiguous row-major grid). */
+    FlatMatrix<TensorLevelDense> levels;
     /** Total dense compute count. */
     double computes = 0.0;
     /** Per-level instance counts. */

@@ -37,10 +37,17 @@ std::vector<std::int64_t>
 TensorFormat::flattenExtents(
         const std::vector<std::int64_t> &tensor_extents) const
 {
+    return flattenExtents(tensor_extents.data(), tensor_extents.size());
+}
+
+std::vector<std::int64_t>
+TensorFormat::flattenExtents(const std::int64_t *tensor_extents,
+                             std::size_t count) const
+{
     std::size_t fr = ranks_.size();
     SL_ASSERT(fr >= 1, "format without ranks");
     std::vector<std::int64_t> out(fr, 1);
-    std::size_t tr = tensor_extents.size();
+    std::size_t tr = count;
     if (tr <= fr) {
         // Pad missing outer ranks with extent 1.
         for (std::size_t i = 0; i < tr; ++i) {
@@ -125,6 +132,99 @@ TensorFormat::tileStats(const DensityModel &model,
     }
     stats.data_words = present[n - 1];
     return stats;
+}
+
+void
+TensorFormat::tileStatsPair(const DensityModel &model,
+                            const std::int64_t *rank_extents,
+                            std::size_t count,
+                            TileFormatStats &expected,
+                            TileFormatStats &worst,
+                            ProbEmptyMemo *memo) const
+{
+    SL_ASSERT(count == ranks_.size(),
+              "rank extent count mismatch: ", count, " vs ",
+              ranks_.size());
+    std::size_t n = ranks_.size();
+
+    std::int64_t tile_elems = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        SL_ASSERT(rank_extents[i] >= 1, "non-positive rank extent");
+        tile_elems *= rank_extents[i];
+    }
+    expected.dense_words = tile_elems;
+    worst.dense_words = tile_elems;
+    expected.metadata_bits = 0.0;
+    worst.metadata_bits = 0.0;
+    expected.per_rank_metadata_bits.assign(n, 0.0);
+    worst.per_rank_metadata_bits.assign(n, 0.0);
+
+    double d = model.tensorDensity();
+    double max_occ_tile =
+        static_cast<double>(model.maxOccupancy(tile_elems));
+
+    // Two materialized-unit chains (tileStats' `present` recurrence),
+    // one per estimate; all shared quantities are computed once.
+    double prev_e = 1.0;
+    double prev_w = 1.0;
+    double units_e = 0.0;
+    double units_w = 0.0;
+    std::int64_t total_units = 1;
+    // Suffix volume below rank i via exact integer division of the
+    // total tile volume — same values tileStats derives by an inner
+    // product loop.
+    std::int64_t elems_below = tile_elems;
+    bool compressed_above = false;
+    std::int64_t deepest_compressed_below = 0;
+    // probEmpty is a pure function of the subtile volume; memoize the
+    // last (volume, result) pair since consecutive ranks often share
+    // their deepest compressed subtile.
+    std::int64_t memo_subtile = -1;
+    double memo_p_empty = 0.0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        total_units *= rank_extents[i];
+        elems_below /= rank_extents[i];
+        if (ranks_[i].compressed()) {
+            compressed_above = true;
+            deepest_compressed_below = elems_below;
+        }
+        if (!compressed_above) {
+            units_e = static_cast<double>(total_units);
+            units_w = units_e;
+        } else {
+            units_w = std::min(static_cast<double>(total_units),
+                               max_occ_tile);
+            if (deepest_compressed_below != memo_subtile) {
+                memo_subtile = deepest_compressed_below;
+                if (!memo || !memo->lookup(memo_subtile, memo_p_empty)) {
+                    memo_p_empty = model.probEmpty(memo_subtile);
+                    if (memo) {
+                        memo->insert(memo_subtile, memo_p_empty);
+                    }
+                }
+            }
+            units_e = static_cast<double>(total_units) *
+                      (1.0 - memo_p_empty);
+        }
+        std::int64_t payload_space = rank_extents[i] * elems_below;
+        double occ_e = prev_e > 0.0 ? units_e / prev_e : 0.0;
+        double bits_e =
+            prev_e * ranks_[i].fiberMetadataBits(rank_extents[i], occ_e,
+                                                 payload_space, d);
+        expected.per_rank_metadata_bits[i] = bits_e;
+        expected.metadata_bits += bits_e;
+        double occ_w = prev_w > 0.0 ? units_w / prev_w : 0.0;
+        double bits_w =
+            prev_w * ranks_[i].fiberMetadataBits(rank_extents[i], occ_w,
+                                                 payload_space, d);
+        worst.per_rank_metadata_bits[i] = bits_w;
+        worst.metadata_bits += bits_w;
+        prev_e = units_e;
+        prev_w = units_w;
+    }
+    expected.data_words = units_e;
+    worst.data_words = units_w;
 }
 
 double

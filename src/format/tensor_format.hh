@@ -50,6 +50,42 @@ struct TileFormatStats
     }
 };
 
+/**
+ * Optional cross-call memo for DensityModel::probEmpty keyed by
+ * subtile volume. probEmpty is a pure function of (model, volume), so
+ * a caller analyzing several tiles of the SAME tensor may share one
+ * memo across tileStatsPair calls to skip repeated evaluations — a
+ * hit returns the identical double the recomputation would produce.
+ * Never share a memo across different density models. Fixed capacity:
+ * once full, further distinct volumes are simply recomputed.
+ */
+struct ProbEmptyMemo
+{
+    static constexpr int kCapacity = 8;
+    int count = 0;
+    std::int64_t volumes[kCapacity] = {};
+    double p_empty[kCapacity] = {};
+
+    bool lookup(std::int64_t volume, double &out) const
+    {
+        for (int i = 0; i < count; ++i) {
+            if (volumes[i] == volume) {
+                out = p_empty[i];
+                return true;
+            }
+        }
+        return false;
+    }
+    void insert(std::int64_t volume, double p)
+    {
+        if (count < kCapacity) {
+            volumes[count] = volume;
+            p_empty[count] = p;
+            ++count;
+        }
+    }
+};
+
 /** Which occupancy estimate drives the stats. */
 enum class OccupancyEstimate
 {
@@ -92,6 +128,56 @@ class TensorFormat
      */
     std::vector<std::int64_t>
     flattenExtents(const std::vector<std::int64_t> &tensor_extents) const;
+
+    /** Raw-buffer variant for callers whose extents live in inline
+     *  storage (the engine hot path); identical results. */
+    std::vector<std::int64_t>
+    flattenExtents(const std::int64_t *tensor_extents,
+                   std::size_t count) const;
+
+    /**
+     * Allocation-free flattenExtents: fills @p out (any vector-like
+     * type with assign/operator[]) instead of returning a fresh
+     * std::vector. Identical arithmetic to flattenExtents().
+     */
+    template <class Vec>
+    void flattenExtentsInto(const std::int64_t *tensor_extents,
+                            std::size_t count, Vec &out) const
+    {
+        std::size_t fr = ranks_.size();
+        out.assign(fr, 1);
+        if (count <= fr) {
+            for (std::size_t i = 0; i < count; ++i) {
+                out[fr - count + i] = tensor_extents[i];
+            }
+            return;
+        }
+        for (std::size_t i = 0; i + 1 < fr; ++i) {
+            out[i] = tensor_extents[i];
+        }
+        std::int64_t flat = 1;
+        for (std::size_t i = fr - 1; i < count; ++i) {
+            flat *= tensor_extents[i];
+        }
+        out[fr - 1] = flat;
+    }
+
+    /**
+     * Compute the Expected and WorstCase estimates in a single rank
+     * sweep, writing into caller-owned stats (whose vectors keep their
+     * capacity across calls). Bit-identical to two tileStats() calls:
+     * the two estimates share every input-derived quantity (dense tile
+     * size, per-rank subtile volumes, max occupancy, probEmpty of the
+     * deepest compressed subtile) and differ only in the materialized-
+     * unit recurrence, which this method carries as two independent
+     * chains with the exact per-call arithmetic. @p memo optionally
+     * caches probEmpty across calls that share a density model.
+     */
+    void tileStatsPair(const DensityModel &model,
+                       const std::int64_t *rank_extents, std::size_t count,
+                       TileFormatStats &expected,
+                       TileFormatStats &worst,
+                       ProbEmptyMemo *memo = nullptr) const;
 
     /** Metadata words moved per stored data word for a tile. */
     double metadataWordsPerDataWord(const DensityModel &model,

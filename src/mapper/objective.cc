@@ -197,8 +197,26 @@ ObjectiveSpec::compare(const MetricVector &a, const MetricVector &b) const
         }
         return 0;
       case Form::Constrained: {
-        const bool fa = feasible(a);
-        const bool fb = feasible(b);
+        // One pass per vector: feasibility and total violation come
+        // from the same bound scan (feasible() + violation() used to
+        // walk the bounds twice per vector).
+        bool fa = true;
+        bool fb = true;
+        double va = 0.0;
+        double vb = 0.0;
+        for (const Bound &bound : bounds_) {
+            const double cap_norm = std::max(bound.cap, 1.0);
+            const double value_a = a.at(bound.metric);
+            if (value_a > bound.cap) {
+                fa = false;
+                va += (value_a - bound.cap) / cap_norm;
+            }
+            const double value_b = b.at(bound.metric);
+            if (value_b > bound.cap) {
+                fb = false;
+                vb += (value_b - bound.cap) / cap_norm;
+            }
+        }
         if (fa != fb) {
             return fa ? -1 : 1;
         }
@@ -206,7 +224,7 @@ ObjectiveSpec::compare(const MetricVector &a, const MetricVector &b) const
             // Both infeasible: least total violation first, so a
             // search in an all-infeasible region still descends
             // toward the feasible set.
-            int c = compareScalar(violation(a), violation(b));
+            int c = compareScalar(va, vb);
             if (c != 0) {
                 return c;
             }

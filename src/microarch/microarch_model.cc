@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 
 namespace sparseloop {
@@ -61,21 +63,27 @@ totalDenseWords(const TensorLevelDense &d)
 } // namespace
 
 EvalResult
-MicroArchModel::evaluate(const SparseTraffic &sparse,
-                         const DenseTraffic &dense,
+MicroArchModel::evaluate(SparseTraffic sparse_in, DenseTraffic dense_in,
                          bool check_capacity) const
 {
     const int S = arch_.levelCount();
-    const int T = static_cast<int>(sparse.levels.empty()
-                                       ? 0
-                                       : sparse.levels[0].size());
+    const int T = static_cast<int>(sparse_in.levels.cols());
     EvalResult res;
-    res.dense = dense;
-    res.sparse = sparse;
+    res.dense = std::move(dense_in);
+    res.sparse = std::move(sparse_in);
+    const DenseTraffic &dense = res.dense;
+    const SparseTraffic &sparse = res.sparse;
     res.computes = sparse.computes;
     res.effectual_computes = sparse.effectual_computes;
     res.compute_instances = sparse.compute_instances;
     res.levels.resize(S);
+
+    // Per-(level, tensor) block-inflation factors, computed once in
+    // the cycles pass and reused by the energy pass (the two passes
+    // used to recompute the identical value).
+    ArenaScope scope(evalScratchArena());
+    double *inflate = scope.arena().allocArray<double>(
+        static_cast<std::size_t>(S) * T);
 
     // ---- Capacity / validity ------------------------------------------
     for (int l = 0; l < S; ++l) {
@@ -106,15 +114,17 @@ MicroArchModel::evaluate(const SparseTraffic &sparse,
             sparse.compute_instances));
     res.compute_cycles = sparse.computes.occupying() / inst_d;
     double latency = res.compute_cycles;
-    std::vector<double> level_words(S, 0.0);
+    double *level_words = scope.arena().allocArray<double>(S);
     for (int l = 0; l < S; ++l) {
         std::int64_t block = arch_.level(l).block_size_words;
         double words = 0.0;
         for (int t = 0; t < T; ++t) {
             const auto &s = sparse.at(l, t);
             double occ = occupyingWords(s);
-            words += occ * blockInflation(
+            double infl = blockInflation(
                 occ, totalDenseWords(dense.at(l, t)), block);
+            inflate[static_cast<std::size_t>(l) * T + t] = infl;
+            words += occ * infl;
         }
         level_words[l] = words;
         double inst = static_cast<double>(
@@ -135,26 +145,23 @@ MicroArchModel::evaluate(const SparseTraffic &sparse,
     // ---- Energy ----------------------------------------------------------
     double total_energy = 0.0;
     for (int l = 0; l < S; ++l) {
-        std::int64_t block = arch_.level(l).block_size_words;
         double e = 0.0;
         for (int t = 0; t < T; ++t) {
             const auto &s = sparse.at(l, t);
-            double inflate = blockInflation(
-                occupyingWords(s), totalDenseWords(dense.at(l, t)),
-                block);
+            double infl = inflate[static_cast<std::size_t>(l) * T + t];
             double reads = s.reads.actual + s.acc_reads.actual +
                            s.drains.actual;
             double gated_reads = s.reads.gated + s.acc_reads.gated +
                                  s.drains.gated;
             double writes = s.fills.actual + s.updates.actual;
             double gated_writes = s.fills.gated + s.updates.gated;
-            e += inflate * reads *
+            e += infl * reads *
                  energy_.storageEnergy(l, ActionKind::Read);
-            e += inflate * gated_reads *
+            e += infl * gated_reads *
                  energy_.storageEnergy(l, ActionKind::GatedRead);
-            e += inflate * writes *
+            e += infl * writes *
                  energy_.storageEnergy(l, ActionKind::Write);
-            e += inflate * gated_writes *
+            e += infl * gated_writes *
                  energy_.storageEnergy(l, ActionKind::GatedWrite);
             e += (s.meta_reads) *
                  energy_.storageEnergy(l, ActionKind::MetadataRead);

@@ -118,10 +118,8 @@ struct EvalResult
     double metadataOverheadWords() const
     {
         double total = 0.0;
-        for (const auto &level : sparse.levels) {
-            for (const TensorLevelSparse &tensor : level) {
-                total += tensor.tile_metadata_words;
-            }
+        for (const TensorLevelSparse &tensor : sparse.levels.flat()) {
+            total += tensor.tile_metadata_words;
         }
         return total;
     }
@@ -153,10 +151,13 @@ class MicroArchModel
 
     /**
      * Evaluate validity, cycles, and energy for sparse traffic.
+     * Takes the traffic by value: both are retained inside the
+     * returned EvalResult anyway, so callers on the hot path move
+     * them in and skip the deep copies; lvalue callers copy exactly
+     * as before.
      * @param check_capacity disable to rank invalid mappings anyway.
      */
-    EvalResult evaluate(const SparseTraffic &sparse,
-                        const DenseTraffic &dense,
+    EvalResult evaluate(SparseTraffic sparse, DenseTraffic dense,
                         bool check_capacity = true) const;
 
   private:

@@ -7,6 +7,7 @@
 
 #include <iomanip>
 #include <sstream>
+#include <utility>
 
 #include "common/mathutil.hh"
 #include "sparse/sparse_analysis.hh"
@@ -29,8 +30,14 @@ EvalResult
 Engine::evaluate(const Workload &workload, const Mapping &mapping,
                  const SafSpec &safs) const
 {
-    return evaluateFromDense(workload, mapping, safs,
-                             analyzeDataflow(workload, mapping));
+    // Cold path: the dense traffic is ours, so hand it to the
+    // micro-architecture step by move instead of deep copy.
+    DenseTraffic dense = analyzeDataflow(workload, mapping);
+    SparseAnalysis sparse_step(workload, arch_, mapping, safs);
+    SparseTraffic sparse = sparse_step.analyze(dense);
+    MicroArchModel micro(arch_, energy_);
+    return micro.evaluate(std::move(sparse), std::move(dense),
+                          options_.check_capacity);
 }
 
 DenseTraffic
@@ -49,7 +56,8 @@ Engine::evaluateFromDense(const Workload &workload, const Mapping &mapping,
     SparseAnalysis sparse_step(workload, arch_, mapping, safs);
     SparseTraffic sparse = sparse_step.analyze(dense);
     MicroArchModel micro(arch_, energy_);
-    return micro.evaluate(sparse, dense, options_.check_capacity);
+    return micro.evaluate(std::move(sparse), dense,
+                          options_.check_capacity);
 }
 
 EvalResult

@@ -9,6 +9,7 @@
 
 #include <random>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "density/actual_data.hh"
 #include "density/hypergeometric.hh"
@@ -109,6 +110,58 @@ SparseAnalysis::eliminationProbability(const IntersectionSaf &saf) const
     return 1.0 - p_keep;
 }
 
+double
+SparseAnalysis::eliminationProbabilityScratch(
+        const IntersectionSaf &saf,
+        std::vector<std::int64_t> &dim_tiles, Shape &extents) const
+{
+    // safBoundary without the keepLevels() vector: the first keeping
+    // level above the SAF (level 0 always keeps but can never be
+    // above it, since saf.level >= 0).
+    int b = mapping_.levelCount();
+    for (int l = saf.level + 1; l < mapping_.levelCount(); ++l) {
+        if (mapping_.level(l).keeps(saf.target)) {
+            b = l;
+            break;
+        }
+    }
+    // leaderRegionDimTiles with the dim-tile vector reused across
+    // SAFs; the multiplication sequence matches dimTilesAtLevel
+    // followed by the reuse-region extension exactly.
+    dim_tiles.assign(workload_.dimCount(), 1);
+    for (int l = b; l < mapping_.levelCount(); ++l) {
+        for (const auto &loop : mapping_.level(l).loops) {
+            dim_tiles[loop.dim] *= loop.bound;
+        }
+    }
+    bool stopped = false;
+    for (int l = std::min(b, mapping_.levelCount()); l-- > 0 && !stopped;) {
+        const auto &loops = mapping_.level(l).loops;
+        for (std::size_t i = loops.size(); i-- > 0;) {
+            const Loop &loop = loops[i];
+            if (loop.bound == 1) {
+                continue;
+            }
+            if (workload_.dimRelevant(saf.target, loop.dim)) {
+                stopped = true;
+                break;
+            }
+            dim_tiles[loop.dim] *= loop.bound;
+        }
+    }
+    double p_keep = 1.0;
+    for (int leader : saf.leaders) {
+        const auto &ds = workload_.tensor(leader);
+        if (!ds.density) {
+            continue;
+        }
+        workload_.tensorTileExtentsInto(leader, dim_tiles.data(), extents);
+        double p_empty = ds.density->probEmptyShaped(extents);
+        p_keep *= (1.0 - p_empty);
+    }
+    return 1.0 - p_keep;
+}
+
 ActionBreakdown
 SparseAnalysis::filterByIntersections(int t, int boundary,
                                       double base) const
@@ -147,7 +200,8 @@ SparseAnalysis::effectualFraction() const
     const int T = workload_.tensorCount();
     // Statistical default: independent operands.
     double marginal = 1.0;
-    std::vector<const ActualDataDensity *> actual(T, nullptr);
+    SmallVector<const ActualDataDensity *, 4> actual;
+    actual.assign(static_cast<std::size_t>(T), nullptr);
     bool all_actual = true;
     bool any_sparse = false;
     for (int t = 0; t < T; ++t) {
@@ -222,9 +276,63 @@ SparseAnalysis::analyze(const DenseTraffic &dense) const
     const int T = workload_.tensorCount();
 
     SparseTraffic out;
-    out.levels.assign(S, std::vector<TensorLevelSparse>(T));
+    out.levels.assign(S, T);
     out.instances = dense.instances;
     out.compute_instances = dense.compute_instances;
+
+    // Hoisted per-SAF invariants: the elimination probability depends
+    // only on the workload, mapping, and density models — not on which
+    // flow is being filtered — so compute it once per SAF instead of
+    // once per (level, tensor, flow) filter call. Entries stay in
+    // specification order; each filter below sorts its own filtered
+    // subset exactly the way the per-call path did, so tie order (and
+    // therefore every double) is unchanged.
+    struct CachedSaf
+    {
+        int level;
+        int target;
+        SafKind kind;
+        double p;
+    };
+    SmallVector<CachedSaf, 8> cached;
+    {
+        std::vector<std::int64_t> dim_tiles_scratch;
+        Shape extents_scratch;
+        for (const auto &saf : safs_.intersections) {
+            cached.push_back(
+                {saf.level, saf.target, saf.kind,
+                 eliminationProbabilityScratch(saf, dim_tiles_scratch,
+                                               extents_scratch)});
+        }
+    }
+
+    // First-match format lookup grid (same semantics as formatAt).
+    ArenaScope scope(evalScratchArena());
+    const TensorFormat **fmt_grid =
+        scope.arena().allocArray<const TensorFormat *>(
+            static_cast<std::size_t>(S) * T);
+    for (const auto &f : safs_.formats) {
+        const TensorFormat *&slot =
+            fmt_grid[static_cast<std::size_t>(f.level) * T + f.tensor];
+        if (!slot) {
+            slot = &f.format;
+        }
+    }
+
+    // Fallback density models for format analysis of dense tensors,
+    // one per tensor instead of one per (level, tensor): the model is
+    // a pure function of its parameters, so sharing an instance
+    // yields identical statistics.
+    SmallVector<DensityModelPtr, 4> fallback;
+    fallback.resize(static_cast<std::size_t>(T));
+
+    // Per-tensor probEmpty memo shared across this tensor's format
+    // bindings at every level: probEmpty is a pure function of
+    // (density model, subtile volume), and each tensor keeps one model
+    // for the whole analysis, so a hit returns the identical double
+    // the recomputation would.
+    SmallVector<ProbEmptyMemo, 4> memos;
+    memos.resize(static_cast<std::size_t>(T));
 
     // ---- Compute action breakdown -------------------------------------
     double effectual_frac = effectualFraction();
@@ -232,17 +340,16 @@ SparseAnalysis::analyze(const DenseTraffic &dense) const
     double comp_skipped = 0.0;
     double comp_gated = 0.0;
     {
-        std::vector<const IntersectionSaf *> all;
-        for (const auto &saf : safs_.intersections) {
-            all.push_back(&saf);
+        SmallVector<const CachedSaf *, 8> all;
+        for (const CachedSaf &c : cached) {
+            all.push_back(&c);
         }
         std::sort(all.begin(), all.end(),
-                  [](const IntersectionSaf *a, const IntersectionSaf *b) {
+                  [](const CachedSaf *a, const CachedSaf *b) {
                       return a->level < b->level;
                   });
         for (const auto *saf : all) {
-            double p = eliminationProbability(*saf);
-            double elim = remaining * p;
+            double elim = remaining * saf->p;
             if (saf->kind == SafKind::Skip) {
                 comp_skipped += elim;
             } else {
@@ -282,27 +389,81 @@ SparseAnalysis::analyze(const DenseTraffic &dense) const
         compute_total_frac > 0.0 ? remaining / compute_total_frac : 1.0;
     (void)compute_actual_frac;
 
+    // Allocation-free filterByIntersections over the cached SAF table.
+    // The filtered subset preserves specification order, and std::sort
+    // with the same level comparator over the same key sequence
+    // produces the same permutation the per-call path produced.
+    auto filter = [&](int t, int boundary, double base) {
+        SmallVector<const CachedSaf *, 8> applicable;
+        for (const CachedSaf &c : cached) {
+            if (c.target == t && c.level < boundary) {
+                applicable.push_back(&c);
+            }
+        }
+        std::sort(applicable.begin(), applicable.end(),
+                  [](const CachedSaf *a, const CachedSaf *b) {
+                      return a->level < b->level;
+                  });
+        ActionBreakdown b;
+        double rem = base;
+        for (const auto *saf : applicable) {
+            double elim = rem * saf->p;
+            if (saf->kind == SafKind::Skip) {
+                b.skipped += elim;
+            } else {
+                b.gated += elim;
+            }
+            rem -= elim;
+        }
+        b.actual = rem;
+        return b;
+    };
+
+    // Innermost keeping level per tensor (outputs only use it, but the
+    // scan is trivial); matches keepLevels(t).back().
+    SmallVector<int, 8> inner_keep;
+    inner_keep.assign(T, 0);
+    for (int t = 0; t < T; ++t) {
+        for (int l = 1; l < S; ++l) {
+            if (mapping_.level(l).keeps(t)) {
+                inner_keep[t] = l;
+            }
+        }
+    }
+
     // ---- Per-level traffic --------------------------------------------
+    // Reused across every (level, tensor) format binding so the
+    // per-rank vectors inside keep their capacity; tileStatsPair
+    // computes the Expected and WorstCase estimates in one rank sweep
+    // with bit-identical results to two tileStats() calls.
+    TileFormatStats stats;
+    TileFormatStats worst;
+    SmallVector<std::int64_t, 4> fmt_extents;
     for (int l = 0; l < S; ++l) {
         for (int t = 0; t < T; ++t) {
             const auto &d = dense.at(l, t);
             auto &s = out.levels[l][t];
             s.tile_dense_words = d.footprint;
 
-            const TensorFormat *fmt = safs_.formatAt(l, t);
+            const TensorFormat *fmt =
+                fmt_grid[static_cast<std::size_t>(l) * T + t];
             double data_ratio = 1.0;  // stored words per dense element
             double meta_ratio = 0.0;  // metadata words per dense element
             if (fmt) {
-                DensityModelPtr model = workload_.tensor(t).density;
-                if (!model) {
-                    model = makeUniformDensity(
+                const DensityModelPtr &tensor_model =
+                    workload_.tensor(t).density;
+                if (!tensor_model && !fallback[t]) {
+                    fallback[t] = makeUniformDensity(
                         workload_.tensorVolume(t), 1.0);
                 }
-                auto extents = fmt->flattenExtents(d.tile_extents);
-                auto stats = fmt->tileStats(*model, extents,
-                                            OccupancyEstimate::Expected);
-                auto worst = fmt->tileStats(*model, extents,
-                                            OccupancyEstimate::WorstCase);
+                const DensityModel &model =
+                    tensor_model ? *tensor_model : *fallback[t];
+                fmt->flattenExtentsInto(d.tile_extents.data(),
+                                        d.tile_extents.size(),
+                                        fmt_extents);
+                fmt->tileStatsPair(model, fmt_extents.data(),
+                                   fmt_extents.size(), stats, worst,
+                                   &memos[static_cast<std::size_t>(t)]);
                 int wb = arch_.level(l).word_bits;
                 if (d.kept) {
                     s.tile_data_words = stats.data_words;
@@ -325,10 +486,8 @@ SparseAnalysis::analyze(const DenseTraffic &dense) const
             if (!is_output) {
                 // Reads out of this level cross boundary l+1 and
                 // beyond; fills arrived across boundary l.
-                s.reads = filterByIntersections(
-                    t, l + 1, d.reads * data_ratio);
-                s.fills = filterByIntersections(
-                    t, l, d.fills * data_ratio);
+                s.reads = filter(t, l + 1, d.reads * data_ratio);
+                s.fills = filter(t, l, d.fills * data_ratio);
                 double read_actual_frac = s.reads.total() > 0.0
                     ? s.reads.actual / s.reads.total() : 1.0;
                 double fill_actual_frac = s.fills.total() > 0.0
@@ -340,8 +499,7 @@ SparseAnalysis::analyze(const DenseTraffic &dense) const
                 // the compute breakdown; other levels keep their dense
                 // flow (zeros still drain upward) modulo level-local
                 // SAFs and compression.
-                int inner_keep = nest_.innermostKeepLevel(t);
-                if (l == inner_keep && compute_total_frac > 0.0) {
+                if (l == inner_keep[t] && compute_total_frac > 0.0) {
                     double total = d.updates * data_ratio;
                     s.updates.actual =
                         total * remaining / compute_total_frac;
@@ -350,8 +508,7 @@ SparseAnalysis::analyze(const DenseTraffic &dense) const
                     s.updates.skipped =
                         total * comp_skipped / compute_total_frac;
                 } else {
-                    s.updates = filterByIntersections(
-                        t, l + 1, d.updates * data_ratio);
+                    s.updates = filter(t, l + 1, d.updates * data_ratio);
                 }
                 // Accumulation reads mirror the updates' breakdown:
                 // a gated update still spends the read-modify-write
@@ -370,8 +527,7 @@ SparseAnalysis::analyze(const DenseTraffic &dense) const
                 }
                 double actual_frac = upd_total > 0.0
                     ? s.updates.actual / upd_total : 1.0;
-                s.drains = filterByIntersections(
-                    t, l + 1, d.drains * data_ratio);
+                s.drains = filter(t, l + 1, d.drains * data_ratio);
                 s.meta_updates = d.updates * meta_ratio * actual_frac;
             }
         }

@@ -109,7 +109,8 @@ struct TensorLevelSparse
 /** Result of the sparse modeling step. */
 struct SparseTraffic
 {
-    std::vector<std::vector<TensorLevelSparse>> levels;
+    /** [level][tensor] traffic records (contiguous row-major grid). */
+    FlatMatrix<TensorLevelSparse> levels;
     ActionBreakdown computes;
     /** Computes whose result is algebraically needed. */
     double effectual_computes = 0.0;
@@ -174,6 +175,17 @@ class SparseAnalysis
 
     /** Delivery boundary of follower traffic for a SAF at its level. */
     int safBoundary(const IntersectionSaf &saf) const;
+
+    /**
+     * eliminationProbability with caller-owned scratch buffers so the
+     * hoisted per-SAF loop in analyze() runs allocation-free after the
+     * first SAF (the buffers keep their capacity). Identical
+     * arithmetic, term for term, to the public method.
+     */
+    double eliminationProbabilityScratch(const IntersectionSaf &saf,
+                                         std::vector<std::int64_t>
+                                             &dim_tiles,
+                                         Shape &extents) const;
 
     /**
      * Split a dense count into (actual, gated, skipped) according to

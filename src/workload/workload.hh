@@ -100,6 +100,28 @@ class Workload
                             const std::vector<std::int64_t> &dim_tiles)
                             const;
 
+    /**
+     * Allocation-free variant of tensorTileExtents: reads dim tiles
+     * from a raw row of the engine's precomputed tile table and writes
+     * the per-rank extents into @p out (any vector-like container).
+     * Arithmetic is identical, term for term, to tensorTileExtents —
+     * the bit-identity contract depends on that.
+     */
+    template <typename Vec>
+    void tensorTileExtentsInto(int t, const std::int64_t *dim_tiles,
+                               Vec &out) const
+    {
+        const auto &proj = tensors_[t].projection;
+        out.assign(proj.size(), 1);
+        for (std::size_t r = 0; r < proj.size(); ++r) {
+            std::int64_t extent = 1;
+            for (const auto &term : proj[r]) {
+                extent += term.coef * (dim_tiles[term.dim] - 1);
+            }
+            out[r] = std::max<std::int64_t>(1, extent);
+        }
+    }
+
     /** Full tensor shape (tile extents at the full dimension bounds). */
     Shape tensorShape(int t) const;
 

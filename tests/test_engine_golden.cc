@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Golden-value regression lock on the validation workloads.
+ *
+ * The differential suite proves the optimized engine equals the naive
+ * reference *transcription*; this suite pins the absolute numbers of
+ * the paper-validation design points (Fig. 11 SCNN, Fig. 12
+ * Eyeriss-v2 PE, Fig. 13 DSTC) to checked-in expected values, so a
+ * change that altered both the engine and the reference in lock-step
+ * — or a behavioral change smuggled in as "refactoring" — still
+ * trips a failure.
+ *
+ * Tolerance note: the expected values were captured at -O2. GCC
+ * defaults to -ffp-contract=fast, so FMA contraction differs between
+ * optimization levels and compilers; the comparisons therefore use a
+ * tight *relative* tolerance (1e-9) rather than bit equality, wide
+ * enough for contraction differences and narrow enough that any real
+ * modeling change (they move metrics by percents) fails loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/designs.hh"
+#include "model/engine.hh"
+#include "workload/builders.hh"
+
+namespace sparseloop {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+void
+expectNear(double actual, double expected, const char *what)
+{
+    EXPECT_NEAR(actual, expected, std::abs(expected) * kRelTol + 1e-12)
+        << what;
+}
+
+struct Golden
+{
+    double cycles;
+    double energy_pj;
+    double peak_capacity_words;
+    double metadata_overhead_words;
+    double computes_actual;
+    double effectual_computes;
+};
+
+void
+checkGolden(const EvalResult &r, const Golden &g)
+{
+    ASSERT_TRUE(r.valid) << r.invalid_reason;
+    expectNear(r.cycles, g.cycles, "cycles");
+    expectNear(r.energy_pj, g.energy_pj, "energy_pj");
+    expectNear(r.peakCapacityWords(), g.peak_capacity_words,
+               "peakCapacityWords");
+    expectNear(r.metadataOverheadWords(), g.metadata_overhead_words,
+               "metadataOverheadWords");
+    expectNear(r.computes.actual, g.computes_actual, "computes.actual");
+    expectNear(r.effectual_computes, g.effectual_computes,
+               "effectual_computes");
+}
+
+/** Fig. 11 layer: the GoogLeNet-like CONV SCNN was validated on. */
+TEST(EngineGolden, ScnnFig11Layer)
+{
+    ConvLayerShape layer;
+    layer.name = "fig11-googlenet-like";
+    layer.k = 128;
+    layer.c = 96;
+    layer.p = 28;
+    layer.q = 28;
+    layer.r = 3;
+    layer.s = 3;
+    layer.weight_density = 0.4;
+    layer.input_density = 0.35;
+    Workload w = makeConv(layer);
+    apps::DesignPoint d = apps::buildScnn(w);
+    EvalResult r = Engine(d.arch).evaluate(w, d.mapping, d.safs);
+    checkGolden(r, Golden{3130477.4848596877, 635375374.18285179,
+                          32042.424435882527, 29572.807598738804,
+                          12138632.799999999, 12138632.799999999});
+}
+
+/** Fig. 12-style Eyeriss-v2 PE on a pruned 3x3 CONV layer. */
+TEST(EngineGolden, EyerissV2PePrunedConv)
+{
+    ConvLayerShape layer;
+    layer.name = "fig12-pruned-conv";
+    layer.k = 64;
+    layer.c = 32;
+    layer.p = 16;
+    layer.q = 16;
+    layer.r = 3;
+    layer.s = 3;
+    layer.weight_density = 0.5;
+    layer.input_density = 0.5;
+    Workload w = makeConv(layer);
+    apps::DesignPoint d = apps::buildEyerissV2Pe(w);
+    EvalResult r = Engine(d.arch).evaluate(w, d.mapping, d.safs);
+    checkGolden(r, Golden{1454723.9999164608, 372575311.35654753,
+                          1774.5625, 454.56249991012709,
+                          1179648.0, 1179648.0});
+}
+
+/** Fig. 13 midpoint: DSTC on the 512^3 matmul at density 0.5. */
+TEST(EngineGolden, DstcMatmul512Density05)
+{
+    Workload w = makeMatmul(512, 512, 512);
+    bindUniformDensities(w, {{"A", 0.5}, {"B", 0.5}});
+    apps::DesignPoint d = apps::buildDstc(w);
+    EvalResult r = Engine(d.arch).evaluate(w, d.mapping, d.safs);
+    checkGolden(r, Golden{131072.0, 827548620.64420545,
+                          44577.0, 35430.562500000022,
+                          33554432.0, 33554432.0});
+}
+
+} // namespace
+} // namespace sparseloop

@@ -53,8 +53,7 @@ TEST(MetricVector, ExtractsEveryMetricFromAnEvalResult)
     eval.levels[0].worst_case_words = 1e6;  // backing store: excluded
     eval.levels[1].worst_case_words = 500.0;
     eval.levels[2].worst_case_words = 800.0;
-    eval.sparse.levels = {{TensorLevelSparse{}, TensorLevelSparse{}},
-                          {TensorLevelSparse{}}};
+    eval.sparse.levels.assign(2, 2);
     eval.sparse.levels[0][0].tile_metadata_words = 3.0;
     eval.sparse.levels[0][1].tile_metadata_words = 4.5;
     eval.sparse.levels[1][0].tile_metadata_words = 2.5;
