@@ -17,8 +17,12 @@
  *    the differential suite proves the two still agree bit for bit;
  *  - cached: the EvalCache full-result hit path (signature hash +
  *    lookup + EvalResult copy);
- *  - batch: BatchEvaluator fan-out over distinct mappings at 1, 4,
- *    and 8 worker threads, uncached;
+ *  - batch: the thread-scaling section — BatchEvaluator fan-out over
+ *    a pool of distinct mappings at 1, 4, and 8 worker threads,
+ *    uncached, each row reporting its speedup over the 1-thread row.
+ *    Rows asking for more threads than the host has are marked
+ *    `advisory` (the regression gate skips them: a single-core host
+ *    cannot measure scaling, only overhead);
  *  - roofline: an analytical upper bound on evals/sec for this
  *    workload from a minimum-work model (see docs/benchmarks.md).
  *
@@ -29,10 +33,10 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/thread_pool.hh"
 #include "density/hypergeometric.hh"
 #include "format/tensor_format.hh"
 #include "apps/designs.hh"
@@ -100,22 +104,91 @@ threeLevelArch()
     return Architecture("perf3", {dram, glb, pe}, ComputeSpec{});
 }
 
-/** Mapping variants over the K split so batch points are distinct. */
+/**
+ * Mapping variants over the M/K/N splits so batch points are
+ * distinct. The first mapping (the cold-path one) keeps the
+ * historical (min(m,8), 1, min(n,8)) shape; the rest spread the
+ * thread-scaling batch over enough unique work to occupy 8 workers.
+ */
 std::vector<Mapping>
 matmulMappings(const Workload &w, const Architecture &arch,
-               std::int64_t m, std::int64_t k, std::int64_t n)
+               std::int64_t m, std::int64_t k, std::int64_t n,
+               std::size_t max_mappings = 48)
 {
     std::vector<Mapping> out;
     const int inner = arch.levelCount() - 1;
-    for (std::int64_t kk = 1; kk <= k; kk *= 2) {
-        if (k % kk != 0) {
-            break;
-        }
+    const std::int64_t m0 = std::min<std::int64_t>(m, 8);
+    const std::int64_t n0 = std::min<std::int64_t>(n, 8);
+    auto add = [&](std::int64_t mm, std::int64_t kk, std::int64_t nn) {
         MappingBuilder b(w, arch);
-        b.temporal(inner, "M", std::min<std::int64_t>(m, 8));
+        b.temporal(inner, "M", mm);
         b.temporal(inner, "K", kk);
-        b.temporal(inner, "N", std::min<std::int64_t>(n, 8));
+        b.temporal(inner, "N", nn);
         out.push_back(b.buildComplete());
+    };
+    add(m0, 1, n0);
+    for (std::int64_t mm = 1; mm <= m0 && m % mm == 0; mm *= 2) {
+        for (std::int64_t kk = 1; kk <= k && k % kk == 0; kk *= 2) {
+            for (std::int64_t nn = 1; nn <= n0 && n % nn == 0;
+                 nn *= 2) {
+                if (out.size() >= max_mappings) {
+                    return out;
+                }
+                if (mm == m0 && kk == 1 && nn == n0) {
+                    continue;  // already the cold-path mapping
+                }
+                add(mm, kk, nn);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * SCNN-style conv mapping variants over the per-PE C/K tile splits,
+ * mirroring apps::buildScnn's planar structure; @p base (the design's
+ * own mapping) stays first as the cold-path point.
+ */
+std::vector<Mapping>
+convMappings(const Workload &w, const Architecture &arch,
+             const Mapping &base, std::size_t max_mappings = 24)
+{
+    std::vector<Mapping> out;
+    out.push_back(base);
+    // Largest divisor of bound that is <= target (apps::buildScnn's
+    // tile-picking rule; P/Q = 28 are not power-of-two friendly).
+    auto pick_tile = [](std::int64_t bound, std::int64_t target) {
+        std::int64_t best = 1;
+        for (std::int64_t d = 1; d <= bound && d <= target; ++d) {
+            if (bound % d == 0) {
+                best = d;
+            }
+        }
+        return best;
+    };
+    const std::int64_t c_bound = w.dims()[w.dimIndex("C")].bound;
+    const std::int64_t k_bound = w.dims()[w.dimIndex("K")].bound;
+    for (std::int64_t cc = 1; cc <= 32 && c_bound % cc == 0; cc *= 2) {
+        for (std::int64_t kk = 16; kk <= k_bound && k_bound % kk == 0;
+             kk *= 2) {
+            if (out.size() >= max_mappings) {
+                return out;
+            }
+            MappingBuilder b(w, arch);
+            b.spatial(1, "P",
+                      pick_tile(w.dims()[w.dimIndex("P")].bound, 8));
+            b.spatial(1, "Q",
+                      pick_tile(w.dims()[w.dimIndex("Q")].bound, 8));
+            b.temporal(1, "C", cc);
+            b.temporal(1, "R", w.dims()[w.dimIndex("R")].bound);
+            b.temporal(1, "S", w.dims()[w.dimIndex("S")].bound);
+            b.temporal(1, "K", kk);
+            Mapping variant = b.buildComplete();
+            if (variant == base) {
+                continue;
+            }
+            out.push_back(std::move(variant));
+        }
     }
     return out;
 }
@@ -171,8 +244,9 @@ scnnConvScenario()
     layer.input_density = 0.35;
     Workload w = makeConv(layer);
     apps::DesignPoint d = apps::buildScnn(w);
+    auto mappings = convMappings(w, d.arch, d.mapping);
     return Scenario{"conv-scnn-fig11", std::move(w), std::move(d.arch),
-                    std::move(d.safs), {std::move(d.mapping)}};
+                    std::move(d.safs), std::move(mappings)};
 }
 
 /** Calibrated evals/sec: double the iteration count until the run
@@ -221,6 +295,10 @@ struct BatchRate
 {
     int threads;
     double evals_per_sec;
+    /** True when the row asked for more threads than the host has:
+     *  it measures oversubscription overhead, not scaling, and the
+     *  regression gate skips it. */
+    bool advisory;
 };
 
 struct ScenarioResult
@@ -230,6 +308,7 @@ struct ScenarioResult
     double cold_engine;
     double cold_reference;
     double cached;
+    std::size_t batch_points;
     std::vector<BatchRate> batch;
 };
 
@@ -285,19 +364,24 @@ runScenario(const Scenario &s)
     for (const Mapping &m : s.mappings) {
         points.push_back({&s.workload, &m, &s.safs});
     }
+    r.batch_points = points.size();
+    const int host_threads = parallel::hardwareThreads();
     for (int threads : {1, 4, 8}) {
         BatchEvaluatorOptions opts;
         opts.num_threads = threads;
         double rate = evalsPerSec([&](int) {
-            // Fresh evaluator per repetition: uncached fan-out.
+            // Fresh evaluator per repetition: uncached fan-out (the
+            // persistent pool and its warm per-worker arenas carry
+            // across repetitions, as they do across mapper batches).
             BatchEvaluator evaluator(engine, nullptr, opts);
             auto results = evaluator.evaluateBatch(points);
             if (results.size() != points.size()) {
                 std::abort();
             }
         });
-        r.batch.push_back(
-            {threads, rate * static_cast<double>(points.size())});
+        r.batch.push_back({threads,
+                           rate * static_cast<double>(points.size()),
+                           threads > host_threads});
     }
     return r;
 }
@@ -306,10 +390,12 @@ void
 emitJson(std::FILE *out, const std::vector<ScenarioResult> &results)
 {
     std::fprintf(out, "{\n");
-    std::fprintf(out, "  \"schema\": \"sparseloop-bench-engine/v1\",\n");
+    std::fprintf(out, "  \"schema\": \"sparseloop-bench-engine/v2\",\n");
     std::fprintf(out, "  \"host_ghz\": %.3f,\n", bench::kHostGhz);
-    std::fprintf(out, "  \"hardware_threads\": %u,\n",
-                 std::thread::hardware_concurrency());
+    // hardware_concurrency with a sysconf fallback: a plain 0 from a
+    // restricted libc must not be recorded as a thread count.
+    std::fprintf(out, "  \"hardware_threads\": %d,\n",
+                 parallel::hardwareThreads());
 #ifdef NDEBUG
     std::fprintf(out, "  \"assertions\": false,\n");
 #else
@@ -337,12 +423,20 @@ emitJson(std::FILE *out, const std::vector<ScenarioResult> &results)
         std::fprintf(out,
                      "      \"cached\": { \"evals_per_sec\": %.1f },\n",
                      r.cached);
+        std::fprintf(out, "      \"batch_points\": %zu,\n",
+                     r.batch_points);
         std::fprintf(out, "      \"batch\": [\n");
+        const double one_thread =
+            r.batch.empty() ? 0.0 : r.batch.front().evals_per_sec;
         for (std::size_t b = 0; b < r.batch.size(); ++b) {
+            const BatchRate &row = r.batch[b];
             std::fprintf(
                 out,
-                "        { \"threads\": %d, \"evals_per_sec\": %.1f }%s\n",
-                r.batch[b].threads, r.batch[b].evals_per_sec,
+                "        { \"threads\": %d, \"evals_per_sec\": %.1f, "
+                "\"speedup_vs_1thread\": %.3f, \"advisory\": %s }%s\n",
+                row.threads, row.evals_per_sec,
+                one_thread > 0.0 ? row.evals_per_sec / one_thread : 0.0,
+                row.advisory ? "true" : "false",
                 b + 1 < r.batch.size() ? "," : "");
         }
         std::fprintf(out, "      ]\n");
@@ -375,6 +469,15 @@ main(int argc, char **argv)
                      r.cold_engine, r.cold_reference,
                      r.cold_engine / r.cold_reference, r.cached,
                      r.roofline);
+        for (const BatchRate &row : r.batch) {
+            std::fprintf(stderr,
+                         "[perf_engine]   batch @%dt %.0f/s "
+                         "(x%.2f vs 1t%s)\n",
+                         row.threads, row.evals_per_sec,
+                         row.evals_per_sec /
+                             r.batch.front().evals_per_sec,
+                         row.advisory ? ", advisory" : "");
+        }
     }
 
     std::FILE *out = stdout;

@@ -9,12 +9,20 @@ story regresses:
   * the cold three-step engine must stay >= --min-speedup times the
     frozen naive reference (the campaign's committed floor);
   * the per-workload speedup-vs-reference must not fall more than
-    --ratio-tolerance below the committed baseline's ratio.
+    --ratio-tolerance below the committed baseline's ratio;
+  * batch throughput at N > 1 threads must not fall below the same
+    run's 1-thread throughput by more than --scaling-tolerance (the
+    persistent pool's "parallelism never hurts" guarantee). Rows the
+    harness marked advisory (thread count above the measuring host's
+    hardware concurrency) are reported but never gated.
 
 Ratios are compared rather than raw evals/sec because both sides of
 a ratio are measured in the same process on the same machine, so the
 comparison is meaningful across hosts; absolute rates are only
 reported (or gated with --strict-absolute, for same-machine runs).
+The thread-scaling gate likewise compares rows within the fresh run
+only; baseline batch rates are shown for information, matched by
+their "threads" field (never by array position).
 
 Exit code 0 = pass, 1 = regression, 2 = usage/schema error.
 Uses only the Python standard library.
@@ -24,7 +32,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "sparseloop-bench-engine/v1"
+SCHEMA = "sparseloop-bench-engine/v2"
 
 
 def load(path):
@@ -35,13 +43,33 @@ def load(path):
         sys.exit(f"error: cannot read {path}: {exc}")
     if doc.get("schema") != SCHEMA:
         print(f"error: {path}: schema {doc.get('schema')!r}, "
-              f"expected {SCHEMA!r}", file=sys.stderr)
+              f"expected {SCHEMA!r} (refresh the file with "
+              f"scripts/run_perf.sh)", file=sys.stderr)
         sys.exit(2)
     return doc
 
 
-def by_name(doc):
-    return {w["name"]: w for w in doc.get("workloads", [])}
+def get(obj, key, ctx):
+    """Field lookup that dies with a usable message, not a KeyError."""
+    if not isinstance(obj, dict) or key not in obj:
+        print(f"error: {ctx}: missing field {key!r} (stale or "
+              f"hand-edited file? refresh with scripts/run_perf.sh)",
+              file=sys.stderr)
+        sys.exit(2)
+    return obj[key]
+
+
+def by_name(doc, path):
+    return {get(w, "name", f"{path}: workloads[{i}]"): w
+            for i, w in enumerate(doc.get("workloads", []))}
+
+
+def batch_by_threads(workload, ctx):
+    """Batch rows keyed by their thread count, not array position."""
+    rows = {}
+    for i, row in enumerate(workload.get("batch", [])):
+        rows[get(row, "threads", f"{ctx}: batch[{i}]")] = row
+    return rows
 
 
 def main():
@@ -59,6 +87,11 @@ def main():
                          "runners are noisy even with the harness's "
                          "best-of-3 interleaved sampling "
                          "(default: %(default)s)")
+    ap.add_argument("--scaling-tolerance", type=float, default=0.10,
+                    help="allowed fractional shortfall of N-thread "
+                         "batch throughput vs the same run's 1-thread "
+                         "row, for non-advisory rows "
+                         "(default: %(default)s)")
     ap.add_argument("--abs-tolerance", type=float, default=0.30,
                     help="allowed fractional drop of absolute cold "
                          "evals/sec, only gated with --strict-absolute "
@@ -68,8 +101,8 @@ def main():
                          "(same-machine comparisons only)")
     args = ap.parse_args()
 
-    fresh = by_name(load(args.fresh))
-    base = by_name(load(args.baseline))
+    fresh = by_name(load(args.fresh), args.fresh)
+    base = by_name(load(args.baseline), args.baseline)
 
     failures = []
     notes = []
@@ -79,10 +112,12 @@ def main():
         failures.append(f"workloads missing from fresh run: {missing}")
 
     for name in sorted(set(base) & set(fresh)):
-        f_cold = fresh[name]["cold"]
-        b_cold = base[name]["cold"]
-        f_ratio = f_cold["speedup_vs_reference"]
-        b_ratio = b_cold["speedup_vs_reference"]
+        f_cold = get(fresh[name], "cold", f"{args.fresh}: {name}")
+        b_cold = get(base[name], "cold", f"{args.baseline}: {name}")
+        f_ratio = get(f_cold, "speedup_vs_reference",
+                      f"{args.fresh}: {name}.cold")
+        b_ratio = get(b_cold, "speedup_vs_reference",
+                      f"{args.baseline}: {name}.cold")
 
         if f_ratio < args.min_speedup:
             failures.append(
@@ -95,8 +130,10 @@ def main():
                 f"than {args.ratio_tolerance:.0%} below baseline "
                 f"{b_ratio:.2f}x (floor {floor:.2f}x)")
 
-        f_abs = f_cold["engine_evals_per_sec"]
-        b_abs = b_cold["engine_evals_per_sec"]
+        f_abs = get(f_cold, "engine_evals_per_sec",
+                    f"{args.fresh}: {name}.cold")
+        b_abs = get(b_cold, "engine_evals_per_sec",
+                    f"{args.baseline}: {name}.cold")
         abs_floor = b_abs * (1.0 - args.abs_tolerance)
         line = (f"{name}: cold {f_abs:,.0f}/s (baseline {b_abs:,.0f}/s), "
                 f"speedup {f_ratio:.2f}x (baseline {b_ratio:.2f}x)")
@@ -107,6 +144,44 @@ def main():
         elif f_abs < abs_floor:
             line += "  [absolute drop, not gated across machines]"
         notes.append(line)
+
+        # Thread scaling: every non-advisory N>1-thread row of the
+        # fresh run must keep up with its own 1-thread row. Advisory
+        # rows (threads > host cores when measured) are informational.
+        f_batch = batch_by_threads(fresh[name], f"{args.fresh}: {name}")
+        b_batch = batch_by_threads(base[name], f"{args.baseline}: {name}")
+        if f_batch:
+            if 1 not in f_batch:
+                failures.append(
+                    f"{name}: batch section has no 1-thread row to "
+                    f"anchor the scaling gate")
+                continue
+            one_rate = get(f_batch[1], "evals_per_sec",
+                           f"{args.fresh}: {name}.batch[threads=1]")
+            scale_floor = one_rate * (1.0 - args.scaling_tolerance)
+            for threads in sorted(f_batch):
+                if threads == 1:
+                    continue
+                row_ctx = f"{args.fresh}: {name}.batch[threads={threads}]"
+                rate = get(f_batch[threads], "evals_per_sec", row_ctx)
+                advisory = bool(f_batch[threads].get("advisory"))
+                line = (f"{name}: batch @{threads}t {rate:,.0f}/s "
+                        f"({rate / one_rate:.2f}x vs 1t)")
+                b_row = b_batch.get(threads)
+                if b_row is not None:
+                    b_rate = get(b_row, "evals_per_sec",
+                                 f"{args.baseline}: {name}."
+                                 f"batch[threads={threads}]")
+                    line += f" [baseline {b_rate:,.0f}/s]"
+                if advisory:
+                    line += "  [advisory: threads > host cores, not gated]"
+                elif rate < scale_floor:
+                    failures.append(
+                        f"{name}: batch @{threads}t {rate:,.0f}/s fell "
+                        f"more than {args.scaling_tolerance:.0%} below "
+                        f"the 1-thread rate {one_rate:,.0f}/s "
+                        f"(floor {scale_floor:,.0f}/s)")
+                notes.append(line)
 
     for line in notes:
         print(line)

@@ -9,7 +9,10 @@
 # pass runs alongside the default config; skip it with
 # SPARSELOOP_SKIP_RELEASE=1. The engine perf gate (Release
 # microbenchmark vs the committed bench/baselines/BENCH_engine.json)
-# can be skipped with SPARSELOOP_SKIP_PERF=1.
+# can be skipped with SPARSELOOP_SKIP_PERF=1. Set SPARSELOOP_TSAN=1
+# to additionally build the concurrency suites under ThreadSanitizer
+# and run them (mirrors the CI tsan job; off by default because the
+# instrumented build roughly doubles verify time).
 # Usage: scripts/verify.sh [build-dir]
 set -euo pipefail
 
@@ -38,6 +41,22 @@ if [[ "${SPARSELOOP_SKIP_RELEASE:-0}" != "1" ]]; then
     ctest --test-dir "${release_dir}" --output-on-failure -j
     echo "== mapspace pruning ablation (Release, billion-point sizes) =="
     "${release_dir}/bench/ablation_mapspace_pruning"
+fi
+
+if [[ "${SPARSELOOP_TSAN:-0}" == "1" ]]; then
+    echo "== ThreadSanitizer: pool/batch/differential/search suites =="
+    tsan_dir="${build_dir}-tsan"
+    cmake -B "${tsan_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DSPARSELOOP_BUILD_BENCH=OFF \
+        -DSPARSELOOP_BUILD_EXAMPLES=OFF \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+    cmake --build "${tsan_dir}" -j
+    # Serial on purpose: TSan instrumentation is memory-hungry, and a
+    # bare -j before -R makes older ctest eat the filter.
+    ctest --test-dir "${tsan_dir}" --output-on-failure \
+        -R 'test_(thread_pool|batch_evaluator|eval_cache|engine_differential|parallel_mapper|search_strategy|pareto_search)'
 fi
 
 if [[ "${SPARSELOOP_SKIP_PERF:-0}" != "1" ]]; then

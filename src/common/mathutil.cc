@@ -19,7 +19,16 @@ double
 logFactorial(std::int64_t n)
 {
     SL_ASSERT(n >= 0, "logFactorial of negative number ", n);
+    // Not std::lgamma: glibc's lgamma writes the global `signgam`,
+    // which is a data race when pool workers evaluate densities
+    // concurrently. The argument is positive, so the sign is always
+    // +1 and the reentrant variant is drop-in.
+#if defined(__GLIBC__) || defined(__unix__) || defined(__APPLE__)
+    int sign = 0;
+    return ::lgamma_r(static_cast<double>(n) + 1.0, &sign);
+#else
     return std::lgamma(static_cast<double>(n) + 1.0);
+#endif
 }
 
 double

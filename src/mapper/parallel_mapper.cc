@@ -6,7 +6,7 @@
 
 #include "mapper/parallel_mapper.hh"
 
-#include "common/parallel.hh"
+#include "common/thread_pool.hh"
 
 namespace sparseloop {
 

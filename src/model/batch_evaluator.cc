@@ -10,7 +10,7 @@
 #include <utility>
 
 #include "common/logging.hh"
-#include "common/parallel.hh"
+#include "common/thread_pool.hh"
 
 namespace sparseloop {
 
@@ -39,22 +39,71 @@ BatchEvaluator::threadCount(std::size_t jobs) const
         options_.num_threads, static_cast<std::int64_t>(jobs));
 }
 
+namespace {
+
+/** An EvalKey carrying its hash, computed exactly once per batch:
+ *  dedupe, grouping, cache lookup, and cache insertion all reuse it
+ *  instead of re-hashing the key at each stage. */
+struct HashedEvalKey
+{
+    EvalKey key;
+    std::uint64_t hash = 0;
+    bool operator==(const HashedEvalKey &o) const
+    {
+        return key == o.key;
+    }
+};
+
+struct HashedEvalKeyHash
+{
+    std::size_t operator()(const HashedEvalKey &k) const
+    {
+        return static_cast<std::size_t>(k.hash);
+    }
+};
+
+/** Same for the Step-1 prefix. */
+struct HashedDenseKey
+{
+    DenseKey key;
+    std::uint64_t hash = 0;
+    bool operator==(const HashedDenseKey &o) const
+    {
+        return key == o.key;
+    }
+};
+
+struct HashedDenseKeyHash
+{
+    std::size_t operator()(const HashedDenseKey &k) const
+    {
+        return static_cast<std::size_t>(k.hash);
+    }
+};
+
+} // namespace
+
 std::vector<EvalResult>
 BatchEvaluator::evaluateBatch(const std::vector<EvalPoint> &points,
                               BatchStats *stats) const
 {
     // 1. Dedupe: one job per distinct EvalKey; remember which job
-    //    serves each input point.
+    //    serves each input point. Each key (and its dense prefix) is
+    //    hashed here, once, and the hash rides along through every
+    //    later stage.
     struct Job
     {
         EvalKey key;
+        std::uint64_t key_hash = 0;
+        std::uint64_t dense_hash = 0;
         const EvalPoint *point = nullptr;
         std::shared_ptr<const DenseTraffic> dense;
         std::shared_ptr<const EvalResult> result;
     };
     std::vector<Job> jobs;
     std::vector<std::size_t> point_to_job(points.size());
-    std::unordered_map<EvalKey, std::size_t, EvalKeyHash> job_of;
+    std::unordered_map<HashedEvalKey, std::size_t, HashedEvalKeyHash>
+        job_of;
     job_of.reserve(points.size());
     // Sweeps share workloads/mappings/SAF specs across many points;
     // memoize each object's signature by address so it hashes once
@@ -74,15 +123,18 @@ BatchEvaluator::evaluateBatch(const std::vector<EvalPoint> &points,
         if (!p.workload || !p.mapping || !p.safs) {
             SL_FATAL("EvalPoint ", i, " has a null component");
         }
-        EvalKey key;
-        key.engine = engine_.signature();
-        key.workload = memoized(workload_sigs, p.workload);
-        key.mapping = memoized(mapping_sigs, p.mapping);
-        key.safs = memoized(saf_sigs, p.safs);
-        auto [it, inserted] = job_of.emplace(key, jobs.size());
+        HashedEvalKey hkey;
+        hkey.key.engine = engine_.signature();
+        hkey.key.workload = memoized(workload_sigs, p.workload);
+        hkey.key.mapping = memoized(mapping_sigs, p.mapping);
+        hkey.key.safs = memoized(saf_sigs, p.safs);
+        hkey.hash = hkey.key.hash();
+        auto [it, inserted] = job_of.emplace(hkey, jobs.size());
         if (inserted) {
             Job job;
-            job.key = key;
+            job.key = hkey.key;
+            job.key_hash = hkey.hash;
+            job.dense_hash = hkey.key.densePrefix().hash();
             job.point = &p;
             jobs.push_back(std::move(job));
         }
@@ -95,14 +147,17 @@ BatchEvaluator::evaluateBatch(const std::vector<EvalPoint> &points,
     //    pure repeats never touches the dense level at all.
     std::vector<std::size_t> unresolved;
     unresolved.reserve(jobs.size());
-    std::unordered_map<DenseKey, std::vector<std::size_t>, DenseKeyHash>
+    std::unordered_map<HashedDenseKey, std::vector<std::size_t>,
+                       HashedDenseKeyHash>
         grouped;
     grouped.reserve(jobs.size());
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-        jobs[j].result = cache_->findResult(jobs[j].key);
+        jobs[j].result = cache_->findResult(jobs[j].key,
+                                            jobs[j].key_hash);
         if (!jobs[j].result) {
             unresolved.push_back(j);
-            grouped[jobs[j].key.densePrefix()].push_back(j);
+            grouped[{jobs[j].key.densePrefix(), jobs[j].dense_hash}]
+                .push_back(j);
         }
     }
     std::vector<std::vector<std::size_t>> groups;
@@ -117,30 +172,45 @@ BatchEvaluator::evaluateBatch(const std::vector<EvalPoint> &points,
         stats->dense_groups = static_cast<std::int64_t>(groups.size());
     }
 
-    // Fan work out over the pool (atomic claiming, prompt abort and
-    // rethrow on the first exception).
-    auto fan_out = [this](std::size_t count,
-                          const std::function<void(std::size_t)> &work) {
+    // Fan work out over the persistent pool (chunked claiming, prompt
+    // abort and rethrow on the first exception). Workers only write
+    // into their own jobs[] slots; all cache insertions are buffered
+    // and merged in bulk after each wave, so the hot loops touch no
+    // shared mutex.
+    auto fan_out = [this](std::size_t count, parallel::IndexBody work) {
         parallel::parallelFor(threadCount(count), count, work);
     };
 
     // 3a. Materialize each group's Step-1 dense traffic exactly once
     //     (groups fan out across the pool; each hits the cache first).
+    std::vector<char> dense_computed(groups.size(), 0);
     fan_out(groups.size(), [&](std::size_t g) {
         const Job &lead = jobs[groups[g].front()];
-        const DenseKey dense_key = lead.key.densePrefix();
         std::shared_ptr<const DenseTraffic> dense =
-            cache_->findDense(dense_key);
+            cache_->findDense(lead.key.densePrefix(), lead.dense_hash);
         if (!dense) {
             dense = std::make_shared<const DenseTraffic>(
                 engine_.analyzeDataflow(*lead.point->workload,
                                         *lead.point->mapping));
-            cache_->storeDense(dense_key, dense);
+            dense_computed[g] = 1;
         }
         for (std::size_t j : groups[g]) {
             jobs[j].dense = dense;
         }
     });
+    {
+        std::vector<EvalCache::DenseEntry> fresh_dense;
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            if (dense_computed[g]) {
+                const Job &lead = jobs[groups[g].front()];
+                fresh_dense.push_back({lead.key.densePrefix(),
+                                       lead.dense_hash, lead.dense});
+            }
+        }
+        if (!fresh_dense.empty()) {
+            cache_->storeDenses(std::move(fresh_dense));
+        }
+    }
 
     // 3b. Evaluate the unresolved jobs (steps 2-3) across the pool.
     fan_out(unresolved.size(), [&](std::size_t u) {
@@ -149,8 +219,18 @@ BatchEvaluator::evaluateBatch(const std::vector<EvalPoint> &points,
         job.result = std::make_shared<const EvalResult>(
             engine_.evaluateFromDense(*p.workload, *p.mapping, *p.safs,
                                       *job.dense));
-        cache_->storeResult(job.key, job.result);
     });
+    {
+        std::vector<EvalCache::ResultEntry> fresh_results;
+        fresh_results.reserve(unresolved.size());
+        for (std::size_t j : unresolved) {
+            fresh_results.push_back(
+                {jobs[j].key, jobs[j].key_hash, jobs[j].result});
+        }
+        if (!fresh_results.empty()) {
+            cache_->storeResults(std::move(fresh_results));
+        }
+    }
 
     // 4. Scatter the deduplicated results back to input order.
     std::vector<EvalResult> results;

@@ -8,13 +8,15 @@
  * specifications over one tile shape). `BatchEvaluator` exploits both:
  * it deduplicates points by `EvalKey`, groups the survivors by
  * `DenseKey` so each dense dataflow analysis runs once, then fans the
- * work out across a worker pool (the shared helpers in
- * common/parallel.hh, as `ParallelMapper` uses) in two waves: dense
- * analyses by group, then the
- * per-point sparse/micro-architecture steps. All lookups and
- * computations go through a shared `EvalCache`, so repeated
- * `evaluateBatch` calls — and any mapper sharing the cache — keep
- * hitting.
+ * work out across the persistent worker pool (common/thread_pool.hh,
+ * the same pool `ParallelMapper` and the search strategies ride) in
+ * two chunk-scheduled waves: dense analyses by group, then the
+ * per-point sparse/micro-architecture steps. Every key is hashed once
+ * per batch, workers write only their own slots, and cache
+ * insertions are buffered and merged into the `EvalCache` shards in
+ * bulk after each wave. All lookups and computations go through a
+ * shared `EvalCache`, so repeated `evaluateBatch` calls — and any
+ * mapper sharing the cache — keep hitting.
  *
  * Results are bit-identical to calling `Engine::evaluate` on every
  * point sequentially: deduplicated points receive copies of the same

@@ -85,13 +85,14 @@ findEntry(const Map &map, std::mutex &mutex,
     return it->second;
 }
 
-/** Shared lock-evict-emplace body of both cache levels. */
+/** Shared evict-emplace body of both cache levels; the caller must
+ *  hold the shard mutex and pass the entry's precomputed key.hash(). */
 template <typename Map>
 void
-storeEntry(Map &map, std::mutex &mutex, const typename Map::key_type &key,
-           typename Map::mapped_type value, std::size_t max_entries)
+storeEntryLocked(Map &map, const typename Map::key_type &key,
+                 std::uint64_t hash, typename Map::mapped_type value,
+                 std::size_t max_entries)
 {
-    std::lock_guard<std::mutex> lock(mutex);
     if (max_entries > 0 && map.size() >= max_entries &&
         map.find(key) == map.end()) {
         // Pseudo-random replacement: probe buckets starting from a
@@ -101,7 +102,7 @@ storeEntry(Map &map, std::mutex &mutex, const typename Map::key_type &key,
         // recency (libstdc++ inserts at the head), which would pin the
         // oldest sweep's entries and churn every new one.
         const std::size_t buckets = map.bucket_count();
-        std::size_t start = static_cast<std::size_t>(key.hash());
+        std::size_t start = static_cast<std::size_t>(hash);
         for (std::size_t probe = 0; probe < buckets; ++probe) {
             std::size_t b = (start + probe) % buckets;
             auto it = map.begin(b);
@@ -119,7 +120,13 @@ storeEntry(Map &map, std::mutex &mutex, const typename Map::key_type &key,
 std::shared_ptr<const EvalResult>
 EvalCache::findResult(const EvalKey &key) const
 {
-    Shard &shard = shardFor(key.hash());
+    return findResult(key, key.hash());
+}
+
+std::shared_ptr<const EvalResult>
+EvalCache::findResult(const EvalKey &key, std::uint64_t hash) const
+{
+    Shard &shard = shardFor(hash);
     return findEntry(shard.results, shard.mutex, key, result_hits_,
                      result_misses_);
 }
@@ -128,15 +135,29 @@ void
 EvalCache::storeResult(const EvalKey &key,
                        std::shared_ptr<const EvalResult> result)
 {
-    Shard &shard = shardFor(key.hash());
-    storeEntry(shard.results, shard.mutex, key, std::move(result),
-               options_.max_entries_per_shard);
+    storeResult(key, key.hash(), std::move(result));
+}
+
+void
+EvalCache::storeResult(const EvalKey &key, std::uint64_t hash,
+                       std::shared_ptr<const EvalResult> result)
+{
+    Shard &shard = shardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    storeEntryLocked(shard.results, key, hash, std::move(result),
+                     options_.max_entries_per_shard);
 }
 
 std::shared_ptr<const DenseTraffic>
 EvalCache::findDense(const DenseKey &key) const
 {
-    Shard &shard = shardFor(key.hash());
+    return findDense(key, key.hash());
+}
+
+std::shared_ptr<const DenseTraffic>
+EvalCache::findDense(const DenseKey &key, std::uint64_t hash) const
+{
+    Shard &shard = shardFor(hash);
     return findEntry(shard.dense, shard.mutex, key, dense_hits_,
                      dense_misses_);
 }
@@ -145,9 +166,76 @@ void
 EvalCache::storeDense(const DenseKey &key,
                       std::shared_ptr<const DenseTraffic> dense)
 {
-    Shard &shard = shardFor(key.hash());
-    storeEntry(shard.dense, shard.mutex, key, std::move(dense),
-               options_.max_entries_per_shard);
+    storeDense(key, key.hash(), std::move(dense));
+}
+
+void
+EvalCache::storeDense(const DenseKey &key, std::uint64_t hash,
+                      std::shared_ptr<const DenseTraffic> dense)
+{
+    Shard &shard = shardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    storeEntryLocked(shard.dense, key, hash, std::move(dense),
+                     options_.max_entries_per_shard);
+}
+
+namespace {
+
+/** Shard index of a hash for an @p nshards -shard cache. */
+std::size_t
+shardIndex(std::uint64_t hash, std::size_t nshards)
+{
+    return static_cast<std::size_t>(
+        hash % static_cast<std::uint64_t>(nshards));
+}
+
+} // namespace
+
+void
+EvalCache::storeResults(std::vector<ResultEntry> entries)
+{
+    // Group by shard first so each touched shard is locked once.
+    const std::size_t nshards = shards_.size();
+    std::vector<std::vector<std::size_t>> per_shard(nshards);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        per_shard[shardIndex(entries[i].hash, nshards)].push_back(i);
+    }
+    for (std::size_t s = 0; s < nshards; ++s) {
+        if (per_shard[s].empty()) {
+            continue;
+        }
+        Shard &shard = *shards_[s];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (std::size_t i : per_shard[s]) {
+            storeEntryLocked(shard.results, entries[i].key,
+                             entries[i].hash,
+                             std::move(entries[i].result),
+                             options_.max_entries_per_shard);
+        }
+    }
+}
+
+void
+EvalCache::storeDenses(std::vector<DenseEntry> entries)
+{
+    const std::size_t nshards = shards_.size();
+    std::vector<std::vector<std::size_t>> per_shard(nshards);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        per_shard[shardIndex(entries[i].hash, nshards)].push_back(i);
+    }
+    for (std::size_t s = 0; s < nshards; ++s) {
+        if (per_shard[s].empty()) {
+            continue;
+        }
+        Shard &shard = *shards_[s];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (std::size_t i : per_shard[s]) {
+            storeEntryLocked(shard.dense, entries[i].key,
+                             entries[i].hash,
+                             std::move(entries[i].dense),
+                             options_.max_entries_per_shard);
+        }
+    }
 }
 
 EvalCacheStats

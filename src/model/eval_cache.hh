@@ -164,26 +164,76 @@ struct EvalCacheStats
 /**
  * Thread-safe sharded two-level evaluation cache. All members may be
  * called concurrently from any number of threads.
+ *
+ * Hot batch paths pass a precomputed `key.hash()` to the overloads
+ * below so each key is hashed exactly once per batch (dedupe,
+ * grouping, lookup, and store all reuse the same 64-bit value), and
+ * buffer their insertions into `storeResults`/`storeDenses`, which
+ * merge into each shard under one lock acquisition instead of one
+ * per entry.
  */
 class EvalCache
 {
   public:
+    /** One buffered full-result insertion (see `storeResults`). */
+    struct ResultEntry
+    {
+        EvalKey key;
+        std::uint64_t hash = 0;  ///< must equal key.hash()
+        std::shared_ptr<const EvalResult> result;
+    };
+
+    /** One buffered Step-1 insertion (see `storeDenses`). */
+    struct DenseEntry
+    {
+        DenseKey key;
+        std::uint64_t hash = 0;  ///< must equal key.hash()
+        std::shared_ptr<const DenseTraffic> dense;
+    };
+
     explicit EvalCache(EvalCacheOptions options = {});
 
     /** Cached full result for a key, or null (counts a hit/miss). */
     std::shared_ptr<const EvalResult> findResult(const EvalKey &key) const;
 
+    /** `findResult` with a precomputed `key.hash()`. */
+    std::shared_ptr<const EvalResult>
+    findResult(const EvalKey &key, std::uint64_t hash) const;
+
     /** Memoize a full result (keeps the first value on races). */
     void storeResult(const EvalKey &key,
+                     std::shared_ptr<const EvalResult> result);
+
+    /** `storeResult` with a precomputed `key.hash()`. */
+    void storeResult(const EvalKey &key, std::uint64_t hash,
                      std::shared_ptr<const EvalResult> result);
 
     /** Cached Step-1 output for a key, or null (counts a hit/miss). */
     std::shared_ptr<const DenseTraffic>
     findDense(const DenseKey &key) const;
 
+    /** `findDense` with a precomputed `key.hash()`. */
+    std::shared_ptr<const DenseTraffic>
+    findDense(const DenseKey &key, std::uint64_t hash) const;
+
     /** Memoize a Step-1 output (keeps the first value on races). */
     void storeDense(const DenseKey &key,
                     std::shared_ptr<const DenseTraffic> dense);
+
+    /** `storeDense` with a precomputed `key.hash()`. */
+    void storeDense(const DenseKey &key, std::uint64_t hash,
+                    std::shared_ptr<const DenseTraffic> dense);
+
+    /**
+     * Bulk full-result insertion: entries are grouped by shard and
+     * each touched shard is locked exactly once, so a worker can
+     * buffer a whole batch wave and merge it with O(shards) mutex
+     * acquisitions instead of O(entries).
+     */
+    void storeResults(std::vector<ResultEntry> entries);
+
+    /** Bulk Step-1 insertion (same contract as `storeResults`). */
+    void storeDenses(std::vector<DenseEntry> entries);
 
     /** Snapshot of the counters and entry counts. */
     EvalCacheStats stats() const;
