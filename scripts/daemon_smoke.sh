@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the evaluation daemon: start sparseloopd on an
+# ephemeral port with persistence, evaluate through sparseloop_cli,
+# shut it down (snapshotting), restart over the same snapshot, and
+# assert the restarted daemon serves the replayed evaluation from its
+# restored cache (nonzero hits, zero misses).
+# Usage: scripts/daemon_smoke.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+cli="${build_dir}/tools/sparseloop_cli"
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    if [[ -n "${server_pid}" ]] && kill -0 "${server_pid}" 2>/dev/null; then
+        kill "${server_pid}" 2>/dev/null || true
+        wait "${server_pid}" 2>/dev/null || true
+    fi
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+snapshot="${workdir}/cache.snap"
+port_file="${workdir}/port"
+
+wait_for_port_file() {
+    for _ in $(seq 1 100); do
+        if [[ -s "${port_file}" ]]; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "daemon never wrote ${port_file}" >&2
+    return 1
+}
+
+echo "-- cold start: serve, evaluate, search, snapshot on shutdown"
+"${cli}" serve --port 0 --port-file "${port_file}" \
+    --snapshot "${snapshot}" > "${workdir}/serve1.log" 2>&1 &
+server_pid=$!
+wait_for_port_file
+port="$(cat "${port_file}")"
+
+"${cli}" contexts --port "${port}"
+"${cli}" eval --context bitmask --port "${port}"
+"${cli}" eval --context coord-list --port "${port}"
+"${cli}" search --context dense-baseline --samples 100 --port "${port}"
+cold_stats="$("${cli}" stats --port "${port}")"
+echo "cold: ${cold_stats}"
+grep -q "restored_entries=0" <<< "${cold_stats}" || {
+    echo "FAIL: cold daemon claims restored entries" >&2; exit 1; }
+
+"${cli}" shutdown --port "${port}"
+wait "${server_pid}"
+server_pid=""
+[[ -s "${snapshot}" ]] || {
+    echo "FAIL: no snapshot written at shutdown" >&2; exit 1; }
+
+echo "-- warm restart: same snapshot, replay must hit the cache"
+rm -f "${port_file}"
+"${cli}" serve --port 0 --port-file "${port_file}" \
+    --snapshot "${snapshot}" > "${workdir}/serve2.log" 2>&1 &
+server_pid=$!
+wait_for_port_file
+port="$(cat "${port_file}")"
+
+"${cli}" eval --context bitmask --port "${port}"
+warm_stats="$("${cli}" stats --port "${port}")"
+echo "warm: ${warm_stats}"
+
+grep -q "result_misses=0 " <<< "${warm_stats}" || {
+    echo "FAIL: warm replay missed the restored cache" >&2; exit 1; }
+grep -Eq "result_hits=[1-9]" <<< "${warm_stats}" || {
+    echo "FAIL: warm replay produced no cache hits" >&2; exit 1; }
+grep -q "restored_entries=0" <<< "${warm_stats}" && {
+    echo "FAIL: warm daemon restored nothing" >&2; exit 1; }
+
+"${cli}" shutdown --port "${port}"
+wait "${server_pid}"
+server_pid=""
+
+echo "daemon smoke OK"

@@ -2,7 +2,8 @@
 # Tier-1 verification: configure, build everything (library, test
 # binaries, benches, examples), run the full CTest suite, smoke-run
 # the search-strategy, pareto-front, and mapspace-pruning ablations,
-# check intra-repo markdown links, and —
+# run the evaluation-daemon smoke (serve over TCP, snapshot, restart,
+# assert warm cache hits), check intra-repo markdown links, and —
 # when doxygen is installed — run the API-docs check (warnings in
 # src/model, src/mapper, and src/common are errors, mirroring the CI
 # docs job). A second explicit Release (-O2/NDEBUG) build-and-ctest
@@ -32,6 +33,9 @@ echo "== pareto-front ablation smoke (hypervolume per strategy, front determinis
 echo "== mapspace pruning ablation smoke (per-pass sizes, losslessness) =="
 "${build_dir}/bench/ablation_mapspace_pruning"
 
+echo "== daemon smoke (serve, evaluate, snapshot, restart, warm hits) =="
+"${repo_root}/scripts/daemon_smoke.sh" "${build_dir}"
+
 if [[ "${SPARSELOOP_SKIP_RELEASE:-0}" != "1" ]]; then
     echo "== Release (-O2/NDEBUG) build-and-ctest =="
     release_dir="${build_dir}-release"
@@ -56,7 +60,7 @@ if [[ "${SPARSELOOP_TSAN:-0}" == "1" ]]; then
     # Serial on purpose: TSan instrumentation is memory-hungry, and a
     # bare -j before -R makes older ctest eat the filter.
     ctest --test-dir "${tsan_dir}" --output-on-failure \
-        -R 'test_(thread_pool|batch_evaluator|eval_cache|engine_differential|parallel_mapper|search_strategy|pareto_search)'
+        -R 'test_(thread_pool|batch_evaluator|eval_cache|engine_differential|parallel_mapper|search_strategy|pareto_search|service_server|cache_persistence)'
 fi
 
 if [[ "${SPARSELOOP_SKIP_PERF:-0}" != "1" ]]; then

@@ -96,6 +96,18 @@ WarmStartPool::elites(const ObjectiveSpec &spec) const
     return out;
 }
 
+std::vector<WarmStartPool::Elite>
+WarmStartPool::exportElites() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Elite> out;
+    out.reserve(entries_.size());
+    for (const Entry &entry : entries_) {
+        out.push_back({entry.objective, entry.metrics, entry.mapping});
+    }
+    return out;
+}
+
 std::size_t
 WarmStartPool::size() const
 {

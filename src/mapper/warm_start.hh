@@ -96,6 +96,23 @@ class WarmStartPool
      */
     std::vector<Mapping> elites(const ObjectiveSpec &spec) const;
 
+    /**
+     * One exported elite: the full (objective, metrics, mapping)
+     * record, the currency of disk persistence
+     * (service/persistence.hh). Feeding an `Elite` back through
+     * `record()` reproduces the entry (ticks are re-assigned in
+     * export order, which preserves the retention ranking).
+     */
+    struct Elite
+    {
+        double objective = 0.0;
+        MetricVector metrics;
+        Mapping mapping;
+    };
+
+    /** The pooled elites in retention order (best recorded first). */
+    std::vector<Elite> exportElites() const;
+
     /** Current entry count (<= capacity). */
     std::size_t size() const;
 

@@ -238,6 +238,34 @@ EvalCache::storeDenses(std::vector<DenseEntry> entries)
     }
 }
 
+std::vector<EvalCache::ResultEntry>
+EvalCache::exportResults() const
+{
+    std::vector<ResultEntry> out;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        out.reserve(out.size() + shard->results.size());
+        for (const auto &[key, value] : shard->results) {
+            out.push_back({key, key.hash(), value});
+        }
+    }
+    return out;
+}
+
+std::vector<EvalCache::DenseEntry>
+EvalCache::exportDenses() const
+{
+    std::vector<DenseEntry> out;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        out.reserve(out.size() + shard->dense.size());
+        for (const auto &[key, value] : shard->dense) {
+            out.push_back({key, key.hash(), value});
+        }
+    }
+    return out;
+}
+
 EvalCacheStats
 EvalCache::stats() const
 {

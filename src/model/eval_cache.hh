@@ -235,6 +235,18 @@ class EvalCache
     /** Bulk Step-1 insertion (same contract as `storeResults`). */
     void storeDenses(std::vector<DenseEntry> entries);
 
+    /**
+     * Snapshot of every resident full-result entry (hash field
+     * filled), in shard order. Entries share ownership with the cache
+     * (`shared_ptr` values are immutable), so exporting is cheap and
+     * safe against concurrent mutation — the disk-persistence layer
+     * (service/persistence.hh) serializes from this view.
+     */
+    std::vector<ResultEntry> exportResults() const;
+
+    /** Snapshot of every resident Step-1 entry (see `exportResults`). */
+    std::vector<DenseEntry> exportDenses() const;
+
     /** Snapshot of the counters and entry counts. */
     EvalCacheStats stats() const;
 

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Wire serialization for the evaluation service (service/protocol.hh)
+ * and the cache snapshot format (service/persistence.hh).
+ *
+ * The encoding is a flat little-endian byte stream: fixed-width
+ * integers are written byte-by-byte (so the format is identical on
+ * big-endian hosts), doubles are written by IEEE-754 bit pattern
+ * (decode returns the exact same bits — the service's bit-identity
+ * contract rides on this), strings and vectors are length-prefixed
+ * with a u32 count. There is no alignment, no padding, and no
+ * self-description; both ends agree on the schema via the protocol /
+ * snapshot version numbers.
+ *
+ * `WireReader` is bounds-checked everywhere: any read past the end of
+ * the buffer — a truncated frame, a corrupt length field — throws
+ * `WireError` instead of reading garbage. Element counts are
+ * sanity-checked against the bytes remaining before any allocation,
+ * so a hostile 4-billion-element length prefix is rejected up front
+ * rather than driving a giant allocation.
+ *
+ * Domain codecs cover exactly the types that cross a process
+ * boundary: `Mapping` (requests and search replies), `EvalKey` /
+ * `DenseKey` / `EvalResult` / `DenseTraffic` (cache snapshots and
+ * evaluate replies), and `MetricVector` (warm-start elites). Each
+ * `encode`/`decode` pair round-trips to an object that compares equal
+ * under the type's exact (bitwise-double) `operator==`.
+ */
+
+#ifndef SPARSELOOP_SERVICE_WIRE_HH
+#define SPARSELOOP_SERVICE_WIRE_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mapper/objective.hh"
+#include "model/eval_cache.hh"
+
+namespace sparseloop {
+
+/** A malformed, truncated, or out-of-bounds wire payload. */
+class WireError : public std::runtime_error
+{
+  public:
+    explicit WireError(const std::string &msg) : std::runtime_error(msg)
+    {}
+};
+
+/** Append-only little-endian byte-stream builder. */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    /** IEEE-754 bit pattern; exact round trip. */
+    void f64(double v);
+    void boolean(bool v) { u8(v ? 1 : 0); }
+    /** u32 byte count + raw bytes. */
+    void str(const std::string &v);
+    void bytes(const void *data, std::size_t n);
+
+    const std::vector<std::uint8_t> &buffer() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked reader over a borrowed byte span (which must outlive
+ * the reader). Every accessor throws `WireError` rather than reading
+ * past the end.
+ */
+class WireReader
+{
+  public:
+    WireReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+    explicit WireReader(const std::vector<std::uint8_t> &buf)
+        : WireReader(buf.data(), buf.size())
+    {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+    bool boolean() { return u8() != 0; }
+    std::string str();
+
+    /**
+     * A u32 element count, validated against the bytes remaining:
+     * decoding @p min_element_bytes per element must fit in the rest
+     * of the buffer. Rejects corrupt giant counts before any
+     * allocation happens.
+     */
+    std::size_t count(std::size_t min_element_bytes = 1);
+
+    /** Consume @p n bytes and return a borrowed pointer to them
+     *  (valid while the underlying buffer lives). */
+    const std::uint8_t *skip(std::size_t n);
+
+    std::size_t remaining() const { return size_ - pos_; }
+    /** True when every byte has been consumed. */
+    bool done() const { return pos_ == size_; }
+    /** Throw WireError unless the payload was consumed exactly. */
+    void expectDone(const char *what) const;
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+
+    void need(std::size_t n) const;
+};
+
+/** @name Domain codecs (see file comment for the round-trip contract).
+ *  @{ */
+void encode(WireWriter &w, const Mapping &mapping);
+Mapping decodeMapping(WireReader &r);
+
+void encode(WireWriter &w, const EvalKey &key);
+EvalKey decodeEvalKey(WireReader &r);
+
+void encode(WireWriter &w, const DenseKey &key);
+DenseKey decodeDenseKey(WireReader &r);
+
+void encode(WireWriter &w, const DenseTraffic &dense);
+DenseTraffic decodeDenseTraffic(WireReader &r);
+
+void encode(WireWriter &w, const SparseTraffic &sparse);
+SparseTraffic decodeSparseTraffic(WireReader &r);
+
+void encode(WireWriter &w, const EvalResult &result);
+EvalResult decodeEvalResult(WireReader &r);
+
+void encode(WireWriter &w, const MetricVector &metrics);
+MetricVector decodeMetricVector(WireReader &r);
+/** @} */
+
+} // namespace sparseloop
+
+#endif // SPARSELOOP_SERVICE_WIRE_HH

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * sparseloop_cli: run and drive the sparseloopd evaluation daemon.
+ *
+ *   sparseloop_cli serve   [--host H] [--port N] [--snapshot PATH]
+ *                          [--snapshot-every N] [--port-file PATH]
+ *   sparseloop_cli contexts [--host H] [--port N]
+ *   sparseloop_cli eval     --context NAME [--host H] [--port N]
+ *   sparseloop_cli search   --context NAME [--samples N] [--seed N]
+ *                           [--threads N] [--host H] [--port N]
+ *   sparseloop_cli stats    [--host H] [--port N]
+ *   sparseloop_cli shutdown [--host H] [--port N]
+ *
+ * `serve` registers the standard design-zoo contexts (bitmask,
+ * coord-list, dense-baseline) and blocks until a client sends
+ * shutdown. `eval` evaluates the named context's canonical mapping —
+ * both ends build the same context table from the same source, which
+ * is what makes that meaningful. With `--port 0`, `--port-file` is
+ * how scripts learn the ephemeral port the daemon actually bound.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "service/client.hh"
+
+namespace {
+
+using namespace sparseloop;
+
+struct CliOptions
+{
+    std::string host = "127.0.0.1";
+    int port = 7571;
+    std::string context;
+    std::string snapshot;
+    std::size_t snapshot_every = 0;
+    std::string port_file;
+    std::uint32_t samples = 2000;
+    std::uint64_t seed = 0xC0FFEE;
+    std::uint32_t threads = 1;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: sparseloop_cli "
+                 "<serve|contexts|eval|search|stats|shutdown> [options]\n"
+                 "  common:  --host H (127.0.0.1)  --port N (7571)\n"
+                 "  serve:   --snapshot PATH  --snapshot-every N  "
+                 "--port-file PATH\n"
+                 "  eval:    --context NAME\n"
+                 "  search:  --context NAME  --samples N  --seed N  "
+                 "--threads N\n");
+    return 2;
+}
+
+bool
+parseOptions(int argc, char **argv, CliOptions &opt)
+{
+    for (int i = 2; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (i + 1 >= argc) {
+            return false;  // every flag takes a value
+        }
+        std::string value = argv[++i];
+        if (flag == "--host") {
+            opt.host = value;
+        } else if (flag == "--port") {
+            opt.port = std::atoi(value.c_str());
+        } else if (flag == "--context") {
+            opt.context = value;
+        } else if (flag == "--snapshot") {
+            opt.snapshot = value;
+        } else if (flag == "--snapshot-every") {
+            opt.snapshot_every =
+                static_cast<std::size_t>(std::atoll(value.c_str()));
+        } else if (flag == "--port-file") {
+            opt.port_file = value;
+        } else if (flag == "--samples") {
+            opt.samples =
+                static_cast<std::uint32_t>(std::atoll(value.c_str()));
+        } else if (flag == "--seed") {
+            opt.seed =
+                static_cast<std::uint64_t>(std::atoll(value.c_str()));
+        } else if (flag == "--threads") {
+            opt.threads =
+                static_cast<std::uint32_t>(std::atoll(value.c_str()));
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+runServe(const CliOptions &opt)
+{
+    auto registry = std::make_shared<ServiceRegistry>();
+    for (ServiceContextSpec &spec : standardServiceContexts()) {
+        registry->addContext(std::move(spec));
+    }
+
+    ServerOptions options;
+    options.host = opt.host;
+    options.port = opt.port;
+    options.snapshot_path = opt.snapshot;
+    options.snapshot_every_entries = opt.snapshot_every;
+
+    ServiceServer server(std::move(registry), options);
+    server.start();
+
+    if (!opt.port_file.empty()) {
+        std::ofstream out(opt.port_file, std::ios::trunc);
+        out << server.port() << "\n";
+    }
+    const SnapshotStats &restored = server.restoreStats();
+    std::printf("sparseloopd listening on %s:%d (restored %zu cache "
+                "entries, %zu elites)\n",
+                opt.host.c_str(), server.port(),
+                restored.result_entries + restored.dense_entries,
+                restored.elites);
+    std::fflush(stdout);
+
+    server.waitForShutdownRequest();
+    server.stop();
+    std::printf("sparseloopd stopped\n");
+    return 0;
+}
+
+int
+runContexts(ServiceClient &client)
+{
+    for (const std::string &name : client.listContexts()) {
+        std::printf("%s\n", name.c_str());
+    }
+    return 0;
+}
+
+int
+runEval(ServiceClient &client, const CliOptions &opt)
+{
+    if (opt.context.empty()) {
+        std::fprintf(stderr, "eval needs --context\n");
+        return 2;
+    }
+    // The client builds the same standard context table the daemon
+    // serves, so the canonical mapping is known on both ends.
+    Mapping canonical;
+    bool known = false;
+    for (ServiceContextSpec &spec : standardServiceContexts()) {
+        if (spec.name == opt.context) {
+            canonical = std::move(spec.canonical);
+            known = true;
+            break;
+        }
+    }
+    if (!known) {
+        std::fprintf(stderr, "no standard context named '%s'\n",
+                     opt.context.c_str());
+        return 2;
+    }
+    std::vector<EvalResult> results =
+        client.evaluateBatch(opt.context, {canonical});
+    const EvalResult &res = results.at(0);
+    if (!res.valid) {
+        std::fprintf(stderr, "invalid mapping: %s\n",
+                     res.invalid_reason.c_str());
+        return 1;
+    }
+    std::printf("context=%s cycles=%lld energy_pj=%.6f\n",
+                opt.context.c_str(),
+                static_cast<long long>(res.cycles), res.energy_pj);
+    return 0;
+}
+
+int
+runSearch(ServiceClient &client, const CliOptions &opt)
+{
+    if (opt.context.empty()) {
+        std::fprintf(stderr, "search needs --context\n");
+        return 2;
+    }
+    ClientSearchOptions options;
+    options.samples = opt.samples;
+    options.seed = opt.seed;
+    options.threads = opt.threads;
+    SearchReply reply = client.search(opt.context, options);
+    if (!reply.found) {
+        std::fprintf(stderr, "search found no valid mapping\n");
+        return 1;
+    }
+    std::printf("context=%s strategy=%s evaluated=%lld valid=%lld "
+                "cycles=%lld energy_pj=%.6f\n",
+                opt.context.c_str(), reply.strategy.c_str(),
+                static_cast<long long>(reply.candidates_evaluated),
+                static_cast<long long>(reply.candidates_valid),
+                static_cast<long long>(reply.eval.cycles),
+                reply.eval.energy_pj);
+    return 0;
+}
+
+int
+runStats(ServiceClient &client)
+{
+    CacheStatsReply s = client.cacheStats();
+    std::printf("result_hits=%lld result_misses=%lld dense_hits=%lld "
+                "dense_misses=%lld result_entries=%llu "
+                "dense_entries=%llu contexts=%u warm_elites=%u "
+                "restored_entries=%llu\n",
+                static_cast<long long>(s.result_hits),
+                static_cast<long long>(s.result_misses),
+                static_cast<long long>(s.dense_hits),
+                static_cast<long long>(s.dense_misses),
+                static_cast<unsigned long long>(s.result_entries),
+                static_cast<unsigned long long>(s.dense_entries),
+                s.contexts, s.warm_elites,
+                static_cast<unsigned long long>(s.restored_entries));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        return usage();
+    }
+    std::string command = argv[1];
+    CliOptions opt;
+    if (!parseOptions(argc, argv, opt)) {
+        return usage();
+    }
+
+    try {
+        if (command == "serve") {
+            return runServe(opt);
+        }
+        ServiceClient client;
+        client.connect(opt.host, opt.port);
+        if (command == "contexts") {
+            return runContexts(client);
+        }
+        if (command == "eval") {
+            return runEval(client, opt);
+        }
+        if (command == "search") {
+            return runSearch(client, opt);
+        }
+        if (command == "stats") {
+            return runStats(client);
+        }
+        if (command == "shutdown") {
+            client.shutdownServer();
+            std::printf("shutdown acknowledged\n");
+            return 0;
+        }
+        std::fprintf(stderr, "unknown command %s\n", command.c_str());
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sparseloop_cli: %s\n", e.what());
+        return 1;
+    }
+}
